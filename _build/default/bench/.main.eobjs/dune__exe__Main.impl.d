@@ -1,0 +1,1 @@
+bench/main.ml: Array Figures Fmt List Micro String Sys Tables Unix Workloads

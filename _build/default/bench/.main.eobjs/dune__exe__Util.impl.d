@@ -1,0 +1,1 @@
+bench/util.ml: Fmt List Unix

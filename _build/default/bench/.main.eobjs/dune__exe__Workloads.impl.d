@@ -1,0 +1,1 @@
+bench/workloads.ml: Conddep_generator Schema_gen Workload

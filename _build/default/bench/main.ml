@@ -1,0 +1,49 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6) plus the complexity-table evidence and
+   two ablations.
+
+     dune exec bench/main.exe                 # quick sweeps, everything
+     dune exec bench/main.exe -- --full       # paper-scale sweeps
+     dune exec bench/main.exe -- fig10a micro # selected sections only
+
+   Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
+             ablation-n ablation-backend micro *)
+
+let sections =
+  [
+    ("table1", fun scale -> ignore scale; Tables.table1 ());
+    ("table2", fun scale -> ignore scale; Tables.table2 ());
+    ("fig10a", Figures.fig10a);
+    ("fig10b", Figures.fig10b);
+    ("fig11a", Figures.fig11a);
+    ("fig11c", Figures.fig11c);
+    ("fig11d", Figures.fig11d);
+    ("detection", Figures.detection);
+    ("ablation-n", Figures.ablation_pool_size);
+    ("ablation-backend", Figures.ablation_backend);
+    ("micro", fun scale -> ignore scale; Micro.run ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let scale = if full then Workloads.Full else Workloads.Quick in
+  let wanted = List.filter (fun a -> a <> "--full") args in
+  let selected =
+    if wanted = [] then sections
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> Some (name, f)
+          | None ->
+              Fmt.epr "unknown section %S (known: %s)@." name
+                (String.concat ", " (List.map fst sections));
+              exit 2)
+        wanted
+  in
+  Fmt.pr "conddep benchmark harness — %s mode@."
+    (if full then "FULL (paper-scale)" else "QUICK (use --full for paper-scale)");
+  let start = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f scale) selected;
+  Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. start)

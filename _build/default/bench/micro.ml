@@ -1,0 +1,164 @@
+open Bechamel
+open Toolkit
+open Conddep_relational
+open Conddep_core
+open Conddep_consistency
+open Conddep_generator
+
+(* Bechamel micro-benchmarks: one Test.make per table and figure of the
+   evaluation, on fixed representative workloads, plus the baseline
+   procedures the paper compares against conceptually (FD closure, IND
+   membership).  These complement the sweeps of Figures/Tables with
+   statistically sound per-operation costs. *)
+
+module B = Conddep_fixtures.Bank
+
+let fixed_workload ~consistent ~n seed =
+  let rng = Rng.make seed in
+  let schema = Schema_gen.generate rng (Workloads.schema_config Workloads.Quick) in
+  let sigma =
+    if consistent then Workload.consistent rng (Workloads.workload_config n) schema
+    else Workload.random rng (Workloads.workload_config n) schema
+  in
+  (schema, sigma)
+
+let tests () =
+  let schema_c, sigma_c = fixed_workload ~consistent:true ~n:200 101 in
+  let schema_r, sigma_r = fixed_workload ~consistent:false ~n:200 102 in
+  let cfd_schema, cfd_sigma = fixed_workload ~consistent:true ~n:300 103 in
+  let cfds = cfd_sigma.Sigma.ncfds in
+  let rel0 = List.hd (Db_schema.rel_names cfd_schema) in
+  let chain_inf_schema, chain_inf_sigma, chain_inf_goal =
+    (* the Table 2 PSPACE family at k = 16 *)
+    let extra i = Attribute.make (Printf.sprintf "f%d" i) Domain.string_inf in
+    let schema =
+      Db_schema.make
+        [
+          Schema.make "src" [ Attribute.make "a" Domain.string_inf ];
+          Schema.make "mid" (Attribute.make "a" Domain.string_inf :: List.init 16 extra);
+          Schema.make "tgt" [ Attribute.make "a" Domain.string_inf ];
+        ]
+    in
+    let ind lhs rhs =
+      {
+        Cind.nf_name = lhs ^ rhs;
+        nf_lhs = lhs;
+        nf_rhs = rhs;
+        nf_x = [ "a" ];
+        nf_y = [ "a" ];
+        nf_xp = [];
+        nf_yp = [];
+      }
+    in
+    (schema, [ ind "src" "mid"; ind "mid" "tgt" ], ind "src" "tgt")
+  in
+  [
+    (* Table 1: the EXPTIME implication decision on the Example 3.4 input *)
+    Test.make ~name:"table1/cind-implication-finite"
+      (Staged.stage (fun () ->
+           Implication.implies B.schema ~sigma:B.implication_sigma B.implication_goal));
+    (* Table 1: the proof checker on the Example 3.4 derivation *)
+    Test.make ~name:"table1/inference-proof-check"
+      (Staged.stage (fun () ->
+           Inference.proves B.schema ~sigma:B.implication_sigma B.example_3_4_proof
+             B.implication_goal));
+    (* Table 1: exact (NP) CFD consistency on one relation *)
+    Test.make ~name:"table1/cfd-consistency-exact"
+      (Staged.stage (fun () ->
+           Cfd_consistency.consistent_rel cfd_schema ~rel:rel0 cfds));
+    (* Table 2: the PSPACE-style membership search without finite domains *)
+    Test.make ~name:"table2/cind-implication-infinite"
+      (Staged.stage (fun () ->
+           Implication.implies chain_inf_schema ~sigma:chain_inf_sigma chain_inf_goal));
+    (* Fig 10(a): the two CFD_Checking backends on the same relation *)
+    Test.make ~name:"fig10a/cfd-checking-chase"
+      (Staged.stage (fun () ->
+           Cfd_checking.consistent_rel ~backend:Cfd_checking.Chase_backend
+             ~rng:(Rng.make 1) cfd_schema cfds ~rel:rel0));
+    Test.make ~name:"fig10a/cfd-checking-sat"
+      (Staged.stage (fun () ->
+           Cfd_checking.consistent_rel ~backend:Cfd_checking.Sat_backend
+             ~rng:(Rng.make 1) cfd_schema cfds ~rel:rel0));
+    (* Fig 10(b): bounded-valuation chase checking at K_CFD = 16 *)
+    Test.make ~name:"fig10b/cfd-checking-k16"
+      (Staged.stage (fun () ->
+           Cfd_checking.consistent_rel_chase ~k_cfd:16 ~rng:(Rng.make 2) cfd_schema
+             (List.filter (fun nf -> nf.Cfd.nf_rel = rel0) cfds)
+             ~rel:rel0));
+    (* Fig 11(a)/(b): the two heuristics on a consistent mixed set *)
+    Test.make ~name:"fig11ab/random-checking-consistent"
+      (Staged.stage (fun () ->
+           Random_checking.to_bool
+             (Random_checking.check ~k:20 ~rng:(Rng.make 3) schema_c sigma_c)));
+    Test.make ~name:"fig11ab/checking-consistent"
+      (Staged.stage (fun () ->
+           Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make 3) schema_c sigma_c)));
+    (* Fig 11(c): the two heuristics on a random mixed set *)
+    Test.make ~name:"fig11c/random-checking-random"
+      (Staged.stage (fun () ->
+           Random_checking.to_bool
+             (Random_checking.check ~k:20 ~rng:(Rng.make 4) schema_r sigma_r)));
+    Test.make ~name:"fig11c/checking-random"
+      (Staged.stage (fun () ->
+           Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make 4) schema_r sigma_r)));
+    (* Fig 11(d): dependency-graph preprocessing alone on the mixed set *)
+    Test.make ~name:"fig11d/preprocessing"
+      (Staged.stage (fun () ->
+           Preprocessing.run ~rng:(Rng.make 5) schema_c sigma_c));
+    (* baselines the conditional analyses generalize *)
+    Test.make ~name:"baseline/fd-closure"
+      (Staged.stage (fun () ->
+           Fd.implies
+             [
+               Fd.make ~rel:"r" ~x:[ "a" ] ~y:[ "b" ];
+               Fd.make ~rel:"r" ~x:[ "b" ] ~y:[ "c" ];
+             ]
+             (Fd.make ~rel:"r" ~x:[ "a" ] ~y:[ "c" ])));
+    Test.make ~name:"baseline/ind-membership"
+      (Staged.stage (fun () ->
+           Ind.implies
+             [
+               Ind.make ~lhs:"r" ~x:[ "a"; "b" ] ~rhs:"s" ~y:[ "c"; "d" ];
+               Ind.make ~lhs:"s" ~x:[ "c" ] ~rhs:"t" ~y:[ "e" ];
+             ]
+             (Ind.make ~lhs:"r" ~x:[ "a" ] ~rhs:"t" ~y:[ "e" ])));
+    (* the paper's running example: violation detection over Fig 1 *)
+    Test.make ~name:"detection/bank-sigma"
+      (Staged.stage (fun () -> Sigma.holds B.dirty_db B.sigma));
+  ]
+
+let run () =
+  Util.header "Bechamel micro-benchmarks (one per table/figure)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let grouped = Test.make_grouped ~name:"conddep" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Fmt.pr "%-45s %-16s %-8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ns, r2) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.1f ns" ns
+      in
+      Fmt.pr "%-45s %-16s %-8.4f@." name pretty r2)
+    rows

@@ -1,0 +1,27 @@
+(* Shared plumbing for the benchmark harness: wall-clock timing, averaging,
+   and row printing. *)
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+(* Run [f] over [trials] seeds; returns (per-trial results, mean seconds). *)
+let timed_trials ~trials f =
+  let results =
+    List.init trials (fun i ->
+        let r, s = time (fun () -> f i) in
+        (r, s))
+  in
+  (List.map fst results, mean (List.map snd results))
+
+let header title = Fmt.pr "@.=== %s ===@." title
+
+let row fmt = Fmt.pr fmt
+
+let percentage hits total =
+  if total = 0 then 100. else 100. *. float_of_int hits /. float_of_int total

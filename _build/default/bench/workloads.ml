@@ -1,0 +1,76 @@
+open Conddep_generator
+
+(* Workload construction shared by the figure sweeps, parameterized by the
+   quick/full switch.  Full mode restores the paper's experimental scales
+   (Section 6: 20 relations, up to 15 attributes, F up to 25%, finite
+   domains of 2–100 values, up to 20K constraints); quick mode shrinks the
+   sweeps so the whole harness runs in minutes on a laptop. *)
+
+type scale = Quick | Full
+
+let schema_config ?(num_relations = 20) ?(finite_ratio = 0.20) scale =
+  match scale with
+  | Full ->
+      {
+        Schema_gen.num_relations;
+        min_arity = 3;
+        max_arity = 15;
+        finite_ratio;
+        finite_dom_min = 2;
+        finite_dom_max = 100;
+      }
+  | Quick ->
+      {
+        Schema_gen.num_relations = min num_relations 10;
+        min_arity = 3;
+        max_arity = 8;
+        finite_ratio;
+        finite_dom_min = 2;
+        finite_dom_max = 10;
+      }
+
+let workload_config num_constraints =
+  { Workload.default with num_constraints; cfd_fraction = 0.75 }
+
+(* x-axes of each figure, per scale *)
+let fig10a_cfds_per_relation = function
+  | Full -> [ 100; 200; 400; 600; 800; 1000; 1200 ]
+  | Quick -> [ 10; 25; 50; 100; 200 ]
+
+let fig10b_kcfd = function
+  | Full -> [ 1; 4; 16; 64; 256; 1024; 4096 ]
+  | Quick -> [ 1; 4; 16; 64; 256 ]
+
+(* The Fig 10(b) schema: every attribute finite with tiny domains, so the
+   valuation space is dense with conflicts (see Workload.needle_cfds). *)
+let fig10b_schema_config = function
+  | Full ->
+      {
+        Schema_gen.num_relations = 20;
+        min_arity = 3;
+        max_arity = 9;
+        finite_ratio = 1.0;
+        finite_dom_min = 2;
+        finite_dom_max = 3;
+      }
+  | Quick ->
+      {
+        Schema_gen.num_relations = 20;
+        min_arity = 3;
+        max_arity = 7;
+        finite_ratio = 1.0;
+        finite_dom_min = 2;
+        finite_dom_max = 3;
+      }
+
+let fig11_num_constraints = function
+  | Full -> [ 2500; 5000; 10000; 15000; 20000 ]
+  | Quick -> [ 100; 250; 500; 1000 ]
+
+let fig11d_relations = function
+  | Full -> [ 5; 10; 20; 40; 60; 80; 100 ]
+  | Quick -> [ 4; 8; 12; 16; 20 ]
+
+let fig11d_ratio = function Full -> 1000 | Quick -> 50
+
+let trials = function Full -> 6 | Quick -> 3

@@ -1,0 +1,268 @@
+(* cindtool — command-line front end over the conditional-dependency
+   library.  Operates on `.cind` files (see data/bank.cind for the format):
+
+     cindtool parse data/bank.cind
+     cindtool normalize data/bank.cind
+     cindtool check data/bank.cind
+     cindtool violations data/bank.cind [--repair]
+     cindtool implies data/bank.cind psi3
+     cindtool witness data/bank.cind *)
+
+open Cmdliner
+open Conddep_relational
+open Conddep_core
+open Conddep_dsl
+
+let load path =
+  match Parser.parse_file path with
+  | Ok doc -> doc
+  | Error msg ->
+      Fmt.epr "%s: %s@." path msg;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Constraint file (.cind).")
+
+(* --- parse ---------------------------------------------------------------- *)
+
+let parse_cmd =
+  let run path =
+    let doc = load path in
+    Fmt.pr "%s" (Printer.document_to_string doc);
+    Fmt.pr "@.-- ok: %d relation(s), %d CFD(s), %d CIND(s), %d instance(s)@."
+      (List.length (Db_schema.relations doc.Parser.schema))
+      (List.length doc.sigma.Sigma.cfds)
+      (List.length doc.sigma.Sigma.cinds)
+      (List.length doc.instances)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse, validate and pretty-print a constraint file.")
+    Term.(const run $ file_arg)
+
+(* --- normalize ------------------------------------------------------------ *)
+
+let normalize_cmd =
+  let run path =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    Fmt.pr "# normal forms (Prop 3.1 / CFD normal form)@.";
+    List.iter (fun c -> Fmt.pr "%a@." Cfd.pp_nf c) nf.Sigma.ncfds;
+    List.iter (fun c -> Fmt.pr "%a@." Cind.pp_nf c) nf.Sigma.ncinds
+  in
+  Cmd.v
+    (Cmd.info "normalize" ~doc:"Print the normal form of every constraint.")
+    Term.(const run $ file_arg)
+
+(* --- check ----------------------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the heuristics.")
+
+let k_arg =
+  Arg.(value & opt int 20 & info [ "k" ] ~docv:"K" ~doc:"Number of random runs (Fig 5).")
+
+let check_cmd =
+  let run path seed k =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    match
+      Conddep_consistency.Checking.check ~k ~rng:(Rng.make seed) doc.Parser.schema nf
+    with
+    | Conddep_consistency.Checking.Consistent db ->
+        Fmt.pr "consistent — witness database:@.%a@." Database.pp db
+    | Conddep_consistency.Checking.Inconsistent ->
+        Fmt.pr "inconsistent (dependency-graph reduction emptied the graph)@.";
+        exit 1
+    | Conddep_consistency.Checking.Unknown ->
+        Fmt.pr "unknown — no witness found within the budgets (heuristic)@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check the consistency of the constraint set (Checking, Fig 9).")
+    Term.(const run $ file_arg $ seed_arg $ k_arg)
+
+(* --- violations ------------------------------------------------------------ *)
+
+let repair_arg =
+  Arg.(value & flag & info [ "repair" ] ~doc:"Apply suggested repairs and re-check.")
+
+let violations_cmd =
+  let run path repair =
+    let doc = load path in
+    let db =
+      match Parser.database doc with
+      | Ok db -> db
+      | Error msg ->
+          Fmt.epr "instance error: %s@." msg;
+          exit 1
+    in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    let report = Conddep_cleaning.Report.build db nf in
+    Fmt.pr "%a@." Conddep_cleaning.Report.pp report;
+    if repair && Conddep_cleaning.Report.count report > 0 then begin
+      let repaired = Conddep_cleaning.Repair.repair ~max_rounds:8 doc.Parser.schema nf db in
+      Fmt.pr "after repair: %d violation(s) left@."
+        (List.length (Conddep_cleaning.Detect.detect repaired nf));
+      Fmt.pr "%a@." Database.pp repaired
+    end
+    else if Conddep_cleaning.Report.count report > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "violations"
+       ~doc:"Detect (and optionally repair) violations in the declared instances.")
+    Term.(const run $ file_arg $ repair_arg)
+
+(* --- implies ----------------------------------------------------------------- *)
+
+let goal_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"GOAL" ~doc:"Name of the CIND to test against the remaining ones.")
+
+let implies_cmd =
+  let run path goal =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    let goals, rest =
+      List.partition (fun c -> String.equal c.Cind.nf_name goal) nf.Sigma.ncinds
+    in
+    match goals with
+    | [] ->
+        Fmt.epr "no CIND named %S in %s@." goal path;
+        exit 1
+    | goals ->
+        List.iter
+          (fun g ->
+            match Implication.implies doc.Parser.schema ~sigma:rest g with
+            | true -> Fmt.pr "%a@.  IS implied by the remaining CINDs@." Cind.pp_nf g
+            | false -> Fmt.pr "%a@.  is NOT implied by the remaining CINDs@." Cind.pp_nf g
+            | exception Implication.Budget_exceeded ->
+                Fmt.pr "%a@.  undetermined: search budget exceeded@." Cind.pp_nf g)
+          goals
+  in
+  Cmd.v
+    (Cmd.info "implies"
+       ~doc:
+         "Decide whether the named CIND is implied by the file's other CINDs \
+          (exact procedure, Thm 3.4).")
+    Term.(const run $ file_arg $ goal_arg)
+
+(* --- prove ------------------------------------------------------------------- *)
+
+let prove_cmd =
+  let run path goal =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    let goals, rest =
+      List.partition (fun c -> String.equal c.Cind.nf_name goal) nf.Sigma.ncinds
+    in
+    match goals with
+    | [] ->
+        Fmt.epr "no CIND named %S in %s@." goal path;
+        exit 1
+    | g :: _ -> (
+        match Proof_search.derive doc.Parser.schema ~sigma:rest g with
+        | Some proof ->
+            Fmt.pr "derivation of %a from the remaining CINDs:@.%a" Cind.pp_nf g
+              Inference.pp_proof proof;
+            (match Inference.proves doc.Parser.schema ~sigma:rest proof g with
+            | Ok _ -> Fmt.pr "(re-checked by the proof verifier)@."
+            | Error msg ->
+                Fmt.epr "internal error: emitted proof rejected: %s@." msg;
+                exit 3)
+        | None ->
+            Fmt.pr "%a is NOT implied by the remaining CINDs@." Cind.pp_nf g;
+            exit 1
+        | exception Invalid_argument msg ->
+            Fmt.epr "%s@." msg;
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Derive the named CIND from the file's other CINDs as an explicit \
+          CIND1-CIND6 proof (infinite-domain attributes only, Thm 3.5).")
+    Term.(const run $ file_arg $ goal_arg)
+
+(* --- logic ------------------------------------------------------------------- *)
+
+let logic_cmd =
+  let run path =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    Fmt.pr "# first-order readings (TGDs / EGDs with constants)@.";
+    List.iter
+      (fun c ->
+        Fmt.pr "@[<v2>-- %s:@,%a@]@." c.Cfd.nf_name Logic.pp
+          (Logic.cfd_to_formula doc.Parser.schema c))
+      nf.Sigma.ncfds;
+    List.iter
+      (fun c ->
+        Fmt.pr "@[<v2>-- %s:@,%a@]@." c.Cind.nf_name Logic.pp
+          (Logic.cind_to_formula doc.Parser.schema c))
+      nf.Sigma.ncinds
+  in
+  Cmd.v
+    (Cmd.info "logic"
+       ~doc:"Print every constraint as a first-order sentence (TGD/EGD form).")
+    Term.(const run $ file_arg)
+
+(* --- cover ------------------------------------------------------------------- *)
+
+let cover_cmd =
+  let run path =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    let cinds = Minimal_cover.cind_cover doc.Parser.schema (Minimal_cover.dedup_cinds nf.Sigma.ncinds) in
+    let cfds = Minimal_cover.cfd_cover doc.Parser.schema (Minimal_cover.dedup_cfds nf.Sigma.ncfds) in
+    Fmt.pr "# minimal cover: %d of %d CFDs, %d of %d CINDs retained@."
+      (List.length cfds) (List.length nf.Sigma.ncfds) (List.length cinds)
+      (List.length nf.Sigma.ncinds);
+    List.iter (fun c -> Fmt.pr "%a@." Cfd.pp_nf c) cfds;
+    List.iter (fun c -> Fmt.pr "%a@." Cind.pp_nf c) cinds
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:"Remove constraints implied by the rest (budgeted minimal cover).")
+    Term.(const run $ file_arg)
+
+(* --- witness ----------------------------------------------------------------- *)
+
+let witness_cmd =
+  let run path =
+    let doc = load path in
+    let nf = Sigma.normalize doc.Parser.sigma in
+    match Witness.database doc.Parser.schema nf.Sigma.ncinds with
+    | db ->
+        Fmt.pr "Theorem 3.2 witness (%d tuples):@.%a@." (Database.total_tuples db)
+          Database.pp db
+    | exception Witness.Too_large n ->
+        Fmt.epr "witness would have %d tuples; aborting@." n;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Build the cross-product witness database for the file's CINDs (Thm 3.2).")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "cindtool" ~version:"1.0.0"
+      ~doc:"Reasoning about conditional inclusion and functional dependencies."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd;
+            normalize_cmd;
+            check_cmd;
+            violations_cmd;
+            implies_cmd;
+            prove_cmd;
+            logic_cmd;
+            cover_cmd;
+            witness_cmd;
+          ]))

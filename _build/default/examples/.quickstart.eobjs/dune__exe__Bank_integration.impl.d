@@ -1,0 +1,1 @@
+examples/bank_integration.ml: Cind Conddep_cleaning Conddep_core Conddep_fixtures Conddep_matching Conddep_relational Database Db_schema Fd Fmt Ind List Relation Sigma

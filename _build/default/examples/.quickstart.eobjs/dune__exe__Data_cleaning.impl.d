@@ -1,0 +1,1 @@
+examples/data_cleaning.ml: Conddep_cleaning Conddep_core Conddep_generator Conddep_relational Database Db_schema Detect Fmt List Repair Report Rng Schema_gen Sigma Workload

@@ -1,0 +1,1 @@
+examples/implication_demo.mli:

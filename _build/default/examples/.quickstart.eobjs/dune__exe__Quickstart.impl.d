@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attribute Cfd Cind Conddep_consistency Conddep_core Conddep_relational Database Db_schema Domain Fmt Implication List Pattern Rng Schema Sigma Tuple Value

@@ -1,0 +1,1 @@
+examples/schema_matching.ml: Cind Conddep_consistency Conddep_core Conddep_dsl Conddep_matching Conddep_relational Database Db_schema Filename Fmt List Parser Relation Rng Sigma String Sys

@@ -1,0 +1,94 @@
+(* Quickstart: define a schema, a CIND and a CFD in code, check a database
+   against them, and run the consistency analysis.
+
+     dune exec examples/quickstart.exe *)
+
+open Conddep_relational
+open Conddep_core
+
+let () =
+  (* 1. A two-relation schema: orders reference a product catalogue. *)
+  let orders =
+    Schema.make "orders"
+      [
+        Attribute.make "id" Domain.string_inf;
+        Attribute.make "product" Domain.string_inf;
+        Attribute.make "status" (Domain.finite [ Value.Str "open"; Value.Str "shipped" ]);
+      ]
+  in
+  let catalogue =
+    Schema.make "catalogue"
+      [ Attribute.make "product" Domain.string_inf; Attribute.make "stocked" Domain.string_inf ]
+  in
+  let schema = Db_schema.make [ orders; catalogue ] in
+
+  (* 2. A CIND: every *shipped* order's product must be a stocked catalogue
+     entry — a conditional inclusion that plain INDs cannot state. *)
+  let shipped_in_catalogue =
+    Cind.make ~name:"shipped_in_catalogue" ~lhs:"orders" ~rhs:"catalogue"
+      ~x:[ "product" ] ~xp:[ "status" ] ~y:[ "product" ] ~yp:[ "stocked" ]
+      [
+        {
+          Cind.cx = [ Pattern.Wildcard ];
+          cxp = [ Pattern.Const (Value.Str "shipped") ];
+          cy = [ Pattern.Wildcard ];
+          cyp = [ Pattern.Const (Value.Str "yes") ];
+        };
+      ]
+  in
+
+  (* 3. A CFD: order ids determine products. *)
+  let id_determines_product =
+    Cfd.make ~name:"id_determines_product" ~rel:"orders" ~x:[ "id" ] ~y:[ "product" ]
+      [ { Cfd.rx = [ Pattern.Wildcard ]; ry = [ Pattern.Wildcard ] } ]
+  in
+
+  let sigma = Sigma.make ~cfds:[ id_determines_product ] ~cinds:[ shipped_in_catalogue ] () in
+  (match Sigma.validate schema sigma with
+  | Ok () -> Fmt.pr "constraints validate against the schema@."
+  | Error e -> failwith e);
+  Fmt.pr "@[<v>%a@]@.@." Sigma.pp sigma;
+
+  (* 4. Check a database. *)
+  let str s = Value.Str s in
+  let db =
+    Database.of_alist schema
+      [
+        ( "orders",
+          [
+            Tuple.make [ str "o1"; str "anvil"; str "shipped" ];
+            Tuple.make [ str "o2"; str "rocket"; str "open" ];
+            Tuple.make [ str "o3"; str "magnet"; str "shipped" ];
+          ] );
+        ("catalogue", [ Tuple.make [ str "anvil"; str "yes" ] ]);
+      ]
+  in
+  Fmt.pr "database:@.%a@.@." Database.pp db;
+  Fmt.pr "D |= sigma?  %b@." (Sigma.holds db sigma);
+  List.iter
+    (fun (_, t) -> Fmt.pr "violating order: %a@." Tuple.pp t)
+    (Cind.violations db shipped_in_catalogue);
+
+  (* 5. Static analysis: the constraint set itself is consistent — the
+     heuristic Checking algorithm builds a witness database. *)
+  let nf = Sigma.normalize sigma in
+  (match Conddep_consistency.Checking.check ~rng:(Rng.make 1) schema nf with
+  | Conddep_consistency.Checking.Consistent witness ->
+      Fmt.pr "@.sigma is consistent; witness:@.%a@." Database.pp witness
+  | Conddep_consistency.Checking.Inconsistent -> Fmt.pr "sigma is inconsistent@."
+  | Conddep_consistency.Checking.Unknown -> Fmt.pr "consistency unknown@.");
+
+  (* 6. Implication: the CIND restricted to a smaller Yp is implied. *)
+  let weakened =
+    {
+      Cind.nf_name = "weakened";
+      nf_lhs = "orders";
+      nf_rhs = "catalogue";
+      nf_x = [ "product" ];
+      nf_y = [ "product" ];
+      nf_xp = [ ("status", str "shipped") ];
+      nf_yp = [];
+    }
+  in
+  Fmt.pr "sigma |= weakened (Yp dropped)?  %b@."
+    (Implication.implies schema ~sigma:(List.concat_map Cind.normalize [ shipped_in_catalogue ]) weakened)

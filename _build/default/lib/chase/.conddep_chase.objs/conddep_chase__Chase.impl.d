@@ -1,0 +1,1 @@
+lib/chase/chase.ml: Array Attribute Cfd Cind Conddep_core Conddep_relational Db_schema Domain Fmt List Pattern Pool Printf Rng Schema Sigma Template Value

@@ -1,0 +1,1 @@
+lib/chase/chase.mli: Cfd Cind Conddep_core Conddep_relational Db_schema Pool Rng Sigma Template Value

@@ -1,0 +1,1 @@
+lib/chase/pool.ml: List Rng Template

@@ -1,0 +1,1 @@
+lib/chase/pool.mli: Rng Template

@@ -1,0 +1,1 @@
+lib/chase/template.ml: Array Attribute Conddep_relational Database Db_schema Domain Fmt Int List Map Pattern Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/chase/template.mli: Conddep_relational Database Db_schema Fmt Pattern Value

@@ -1,0 +1,329 @@
+open Conddep_relational
+open Conddep_core
+
+(* The extended chase of Section 5.1.
+
+   Chase operations transform database templates:
+
+   - IND(ψ): for a tuple ta of Ra with ta[Xp] = tp[Xp], if no tuple of Rb
+     matches ta on the embedded inclusion and carries tp[Yp], add one; its
+     unconstrained fields take random variables from the bounded pools (or,
+     in the *instantiated* chase, random constants for finite-domain
+     attributes).
+   - FD(φ): for tuples t1, t2 with t1[X] = t2[X] ≍ tp[X] violating the
+     conclusion, identify values by replacing the smaller cell by the
+     larger (variables sit below constants), substituting globally; the
+     operation is undefined when two distinct constants clash.
+
+   The instantiated chase chase_I additionally bounds every relation by the
+   threshold T; exceeding it makes the chase undefined (Section 5.2).  A
+   step budget guards against ping-pong between pool re-use and merging. *)
+
+type config = {
+  pool_size : int; (* N: maximum size of each var[A] *)
+  threshold : int; (* T: maximum tuples per relation in chase_I *)
+  max_steps : int; (* safety budget on chase operations *)
+}
+
+let default_config = { pool_size = 2; threshold = 2000; max_steps = 20_000 }
+
+type outcome =
+  | Terminal of Template.t
+  | Undefined of string
+
+(* --- compiled constraints (attribute names resolved to positions) --- *)
+
+type compiled_cind = {
+  i_name : string;
+  i_lhs : string;
+  i_rhs : string;
+  i_xp : (int * Value.t) list;
+  i_copy : (int * int) list;
+  i_yp : (int * Value.t) list;
+  i_rest : (int * string * Domain.t) list; (* unconstrained RHS fields *)
+}
+
+type compiled_cfd = {
+  f_name : string;
+  f_rel : string;
+  f_tx : (int * Pattern.cell) list;
+  f_a : int;
+  f_ta : Pattern.cell;
+}
+
+let compile_cind schema (nf : Cind.nf) =
+  let r1 = Db_schema.find schema nf.Cind.nf_lhs in
+  let r2 = Db_schema.find schema nf.nf_rhs in
+  let copy =
+    List.map2 (fun a b -> (Schema.position r1 a, Schema.position r2 b)) nf.nf_x nf.nf_y
+  in
+  let yp = List.map (fun (b, v) -> (Schema.position r2 b, v)) nf.nf_yp in
+  let determined = List.map snd copy @ List.map fst yp in
+  let rest =
+    List.filteri (fun pos _ -> not (List.mem pos determined)) (Schema.attrs r2)
+    |> List.map (fun attr ->
+           (Schema.position r2 (Attribute.name attr), Attribute.name attr, Attribute.domain attr))
+  in
+  {
+    i_name = nf.nf_name;
+    i_lhs = nf.nf_lhs;
+    i_rhs = nf.nf_rhs;
+    i_xp = List.map (fun (a, v) -> (Schema.position r1 a, v)) nf.nf_xp;
+    i_copy = copy;
+    i_yp = yp;
+    i_rest = rest;
+  }
+
+let compile_cfd schema (nf : Cfd.nf) =
+  let r = Db_schema.find schema nf.Cfd.nf_rel in
+  {
+    f_name = nf.nf_name;
+    f_rel = nf.nf_rel;
+    f_tx = List.map2 (fun a c -> (Schema.position r a, c)) nf.nf_x nf.nf_tx;
+    f_a = Schema.position r nf.nf_a;
+    f_ta = nf.nf_ta;
+  }
+
+type compiled = { cinds : compiled_cind list; cfds : compiled_cfd list }
+
+let compile schema (sigma : Sigma.nf) =
+  {
+    cinds = List.map (compile_cind schema) sigma.Sigma.ncinds;
+    cfds = List.map (compile_cfd schema) sigma.ncfds;
+  }
+
+(* --- FD(φ) --- *)
+
+type fd_result =
+  | Fd_changed of Template.t
+  | Fd_unchanged
+  | Fd_undefined of string
+
+(* One FD(φ) application to the first violating pair found. *)
+let fd_step cfd db =
+  let tuples = Template.tuples db cfd.f_rel in
+  let lhs_agree_and_match t1 t2 =
+    List.for_all
+      (fun (pos, cell) ->
+        Template.cell_equal t1.(pos) t2.(pos)
+        && Template.cell_matches_pattern t1.(pos) cell)
+      cfd.f_tx
+  in
+  let rec pairs = function
+    | [] -> Fd_unchanged
+    | t1 :: rest -> (
+        let rec inner = function
+          | [] -> pairs rest
+          | t2 :: rest2 -> (
+              if not (lhs_agree_and_match t1 t2) then inner rest2
+              else
+                let a1 = t1.(cfd.f_a) and a2 = t2.(cfd.f_a) in
+                match cfd.f_ta with
+                | Pattern.Wildcard ->
+                    if Template.cell_equal a1 a2 then inner rest2
+                    else (
+                      match a1, a2 with
+                      | Template.C _, Template.C _ ->
+                          Fd_undefined
+                            (Fmt.str "FD(%s): distinct constants %a, %a" cfd.f_name
+                               Template.pp_cell a1 Template.pp_cell a2)
+                      | _ ->
+                          (* replace the smaller cell by the larger one *)
+                          let small, large =
+                            if Template.cell_compare a1 a2 < 0 then (a1, a2) else (a2, a1)
+                          in
+                          let var =
+                            match small with Template.V v -> v | Template.C _ -> assert false
+                          in
+                          Fd_changed (Template.subst db var large))
+                | Pattern.Const a -> (
+                    let conflict c =
+                      match c with
+                      | Template.C v -> not (Value.equal v a)
+                      | Template.V _ -> false
+                    in
+                    if conflict a1 || conflict a2 then
+                      Fd_undefined
+                        (Fmt.str "FD(%s): constant clashes with pattern %a" cfd.f_name
+                           Value.pp a)
+                    else
+                      let db, changed1 =
+                        match a1 with
+                        | Template.V v -> (Template.subst db v (Template.C a), true)
+                        | Template.C _ -> (db, false)
+                      in
+                      let db, changed2 =
+                        match a2 with
+                        | Template.V v -> (Template.subst db v (Template.C a), true)
+                        | Template.C _ -> (db, false)
+                      in
+                      if changed1 || changed2 then Fd_changed db else inner rest2))
+        in
+        inner (t1 :: rest))
+  in
+  pairs tuples
+
+(* Chase with CFDs only, to fixpoint. *)
+let fd_fixpoint ?(max_steps = 10_000) cfds db =
+  let rec go db steps =
+    if steps > max_steps then Undefined "FD fixpoint budget exceeded"
+    else
+      let rec try_cfds = function
+        | [] -> Terminal db
+        | cfd :: rest -> (
+            match fd_step cfd db with
+            | Fd_changed db' -> go db' (steps + 1)
+            | Fd_unchanged -> try_cfds rest
+            | Fd_undefined why -> Undefined why)
+      in
+      try_cfds cfds
+  in
+  go db 0
+
+(* --- IND(ψ) --- *)
+
+let triggers cind (ta : Template.tuple) =
+  List.for_all
+    (fun (pos, v) -> Template.cell_equal ta.(pos) (Template.C v))
+    cind.i_xp
+
+let has_witness cind db (ta : Template.tuple) =
+  List.exists
+    (fun (tb : Template.tuple) ->
+      List.for_all (fun (xpos, ypos) -> Template.cell_equal tb.(ypos) ta.(xpos)) cind.i_copy
+      && List.for_all
+           (fun (pos, v) -> Template.cell_equal tb.(pos) (Template.C v))
+           cind.i_yp)
+    (Template.tuples db cind.i_rhs)
+
+(* Build the witness tuple IND(ψ) inserts for [ta].  In instantiated mode,
+   unconstrained finite-domain fields take random constants instead of pool
+   variables (Section 5.2, simplification (a)). *)
+let witness_tuple ~instantiated pool rng schema cind (ta : Template.tuple) =
+  let r2 = Db_schema.find schema cind.i_rhs in
+  let tb = Array.make (Schema.arity r2) (Template.C (Value.Int 0)) in
+  List.iter (fun (xpos, ypos) -> tb.(ypos) <- ta.(xpos)) cind.i_copy;
+  List.iter (fun (pos, v) -> tb.(pos) <- Template.C v) cind.i_yp;
+  List.iter
+    (fun (pos, attr, dom) ->
+      match Domain.values dom with
+      | Some vs when instantiated -> tb.(pos) <- Template.C (Rng.pick rng vs)
+      | _ -> tb.(pos) <- Pool.pick pool rng ~rel:cind.i_rhs ~attr)
+    cind.i_rest;
+  tb
+
+type ind_result =
+  | Ind_changed of Template.t
+  | Ind_unchanged
+  | Ind_overflow of string
+
+(* One IND(ψ) application to the first triggering tuple without witness.
+   The relation-size threshold T is enforced unconditionally — Section 5.1
+   frames the whole extension as a chase over bounded-size tables. *)
+let ind_step ~instantiated ~threshold pool rng schema cind db =
+  let rec go = function
+    | [] -> Ind_unchanged
+    | ta :: rest ->
+        if triggers cind ta && not (has_witness cind db ta) then
+          if Template.cardinal db cind.i_rhs >= threshold then
+            Ind_overflow
+              (Printf.sprintf "IND(%s): relation %s exceeds threshold T" cind.i_name
+                 cind.i_rhs)
+          else
+            Ind_changed
+              (Template.add db cind.i_rhs
+                 (witness_tuple ~instantiated pool rng schema cind ta))
+        else go rest
+  in
+  go (Template.tuples db cind.i_lhs)
+
+(* --- full chase loops --- *)
+
+(* The terminal chase: apply FD and IND operations until fixpoint.  With
+   [instantiated] set this is chase_I of Section 5.2 (bounded relations,
+   constants for finite-domain fields). *)
+let run ?(instantiated = false) ~config ~rng schema compiled db =
+  let pool = Pool.make ~n:config.pool_size in
+  let rec go db steps =
+    if steps > config.max_steps then Undefined "chase step budget exceeded"
+    else
+      match fd_fixpoint ~max_steps:config.max_steps compiled.cfds db with
+      | Undefined why -> Undefined why
+      | Terminal db ->
+          let rec try_cinds = function
+            | [] -> Terminal db
+            | cind :: rest -> (
+                match
+                  ind_step ~instantiated ~threshold:config.threshold pool rng schema cind
+                    db
+                with
+                | Ind_changed db' -> go db' (steps + 1)
+                | Ind_unchanged -> try_cinds rest
+                | Ind_overflow why -> Undefined why)
+          in
+          try_cinds compiled.cinds
+  in
+  go db 0
+
+(* Apply a random valuation ρ to every remaining finite-domain variable
+   (the paper's ρ(D)).  When [avoid] lists the constants of Σ, values
+   outside it are preferred: such a value matches no pattern and so behaves
+   like a fresh value of an infinite domain (cf. Example 3.2's remark) —
+   frozen choices then cannot trigger constraints later.  Domains fully
+   covered by constants fall back to uniform choice, which is where the
+   K_CFD accuracy trade-off of Fig 10(b) lives. *)
+(* Constants forced as CFD conclusions, per (relation, attribute) — the
+   values later FD steps may demand of a column. *)
+let conclusion_constants schema cfds =
+  List.filter_map
+    (fun cfd ->
+      match cfd.f_ta with
+      | Pattern.Const v ->
+          let r = Db_schema.find schema cfd.f_rel in
+          Some ((cfd.f_rel, Attribute.name (Schema.attr r cfd.f_a)), v)
+      | Pattern.Wildcard -> None)
+    cfds
+
+let instantiate_finite_vars ?(prefer = fun _ _ -> []) ?(avoid = []) rng db =
+  let schema = Template.schema db in
+  List.fold_left
+    (fun db v ->
+      let r = Db_schema.find schema v.Template.vrel in
+      match Domain.values (Schema.domain_of r v.vattr) with
+      | Some values ->
+          (* Mix value-selection policies across attempts:
+             - copy a constant already present in the column — tuples
+               agreeing on an FD's LHS then agree on its RHS for free;
+             - pick a value some CFD conclusion will demand of this column;
+             - otherwise prefer a pattern-free value (matches nothing, like
+               a fresh value of an infinite domain). *)
+          let in_dom = List.filter (fun x -> List.exists (Value.equal x) values) in
+          let column =
+            in_dom (Template.column_constants db ~rel:v.vrel ~attr:v.vattr)
+          in
+          let demanded = in_dom (prefer v.Template.vrel v.vattr) in
+          let pattern_free =
+            List.filter (fun x -> not (List.exists (Value.equal x) avoid)) values
+          in
+          let pool =
+            if column <> [] && Rng.int rng 10 < 6 then column
+            else if demanded <> [] && Rng.int rng 10 < 6 then demanded
+            else if pattern_free <> [] then pattern_free
+            else values
+          in
+          Template.subst db v (Template.C (Rng.pick rng pool))
+      | None -> db)
+    db (Template.finite_variables db)
+
+(* A fresh single-tuple template over [rel]: one variable per attribute
+   (line 1 of RandomChecking, Fig 5). *)
+let seed_tuple schema ~rel =
+  let r = Db_schema.find schema rel in
+  let tuple =
+    Array.of_list
+      (List.map
+         (fun attr ->
+           Template.V { Template.vrel = rel; vattr = Attribute.name attr; vidx = 0 })
+         (Schema.attrs r))
+  in
+  Template.add (Template.empty schema) rel tuple

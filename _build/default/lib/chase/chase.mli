@@ -1,0 +1,94 @@
+open Conddep_relational
+open Conddep_core
+
+(** The extended chase of Section 5.1 and its instantiated variant chase_I
+    of Section 5.2.
+
+    The chase transforms database templates with the operations IND(ψ)
+    (add a required witness tuple, populating unknown fields from the
+    bounded variable pools) and FD(φ) (identify values, undefined on a
+    constant clash).  Variable pools are bounded by N; the instantiated
+    chase replaces finite-domain unknowns by random constants and bounds
+    every relation by the threshold T. *)
+
+type config = {
+  pool_size : int;  (** N — maximum size of each pool [var\[A\]] *)
+  threshold : int;  (** T — relation size bound of chase_I *)
+  max_steps : int;  (** safety budget on chase operations *)
+}
+
+val default_config : config
+(** N = 2 (the paper's experimental setting), T = 2000. *)
+
+type outcome =
+  | Terminal of Template.t  (** the chase result chase(D, Σ) *)
+  | Undefined of string  (** chase undefined; carries the reason *)
+
+(** {1 Compiled constraints} *)
+
+type compiled_cind
+type compiled_cfd
+type compiled = { cinds : compiled_cind list; cfds : compiled_cfd list }
+
+val compile : Db_schema.t -> Sigma.nf -> compiled
+val compile_cind : Db_schema.t -> Cind.nf -> compiled_cind
+val compile_cfd : Db_schema.t -> Cfd.nf -> compiled_cfd
+
+(** {1 Single operations} *)
+
+type fd_result =
+  | Fd_changed of Template.t
+  | Fd_unchanged
+  | Fd_undefined of string
+
+val fd_step : compiled_cfd -> Template.t -> fd_result
+(** One FD(φ) application to the first violating pair, if any. *)
+
+val fd_fixpoint : ?max_steps:int -> compiled_cfd list -> Template.t -> outcome
+(** Chase with CFDs only, to fixpoint — the core of CFD_Checking. *)
+
+type ind_result =
+  | Ind_changed of Template.t
+  | Ind_unchanged
+  | Ind_overflow of string  (** threshold T exceeded (instantiated mode) *)
+
+val ind_step :
+  instantiated:bool ->
+  threshold:int ->
+  Pool.t ->
+  Rng.t ->
+  Db_schema.t ->
+  compiled_cind ->
+  Template.t ->
+  ind_result
+(** One IND(ψ) application to the first triggering tuple lacking a witness. *)
+
+(** {1 Full chase} *)
+
+val run :
+  ?instantiated:bool ->
+  config:config ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  compiled ->
+  Template.t ->
+  outcome
+(** Run the chase to termination.  [instantiated:true] gives chase_I. *)
+
+val conclusion_constants :
+  Db_schema.t -> compiled_cfd list -> ((string * string) * Value.t) list
+(** Constants forced by CFD conclusions, keyed by (relation, attribute). *)
+
+val instantiate_finite_vars :
+  ?prefer:(string -> string -> Value.t list) ->
+  ?avoid:Value.t list ->
+  Rng.t ->
+  Template.t ->
+  Template.t
+(** Apply a random valuation ρ ∈ Vfinattr(R) to all remaining finite-domain
+    variables.  Values outside [avoid] (typically the constants of Σ) are
+    preferred — they match no pattern, like fresh values of an infinite
+    domain; fully covered domains fall back to uniform choice. *)
+
+val seed_tuple : Db_schema.t -> rel:string -> Template.t
+(** The single-tuple start template of RandomChecking (Fig 5, line 1). *)

@@ -1,0 +1,18 @@
+(* Bounded variable pools var[A] (Section 5.1): for every relation R and
+   attribute A, a set of at most N distinct variables used to populate the
+   unknown fields of tuples created by IND chase steps.  N = 2 in the
+   paper's experiments (its size has negligible accuracy impact). *)
+
+type t = { n : int }
+
+let make ~n =
+  if n < 1 then invalid_arg "Pool.make: pool size must be at least 1";
+  { n }
+
+let size t = t.n
+
+let vars t ~rel ~attr =
+  List.init t.n (fun i -> { Template.vrel = rel; vattr = attr; vidx = i })
+
+let pick t rng ~rel ~attr =
+  Template.V { Template.vrel = rel; vattr = attr; vidx = Rng.int rng t.n }

@@ -1,0 +1,15 @@
+(** Bounded variable pools [var\[A\]] of Section 5.1. *)
+
+type t
+
+val make : n:int -> t
+(** [n] is the maximum pool size N (the paper uses N = 2).
+    @raise Invalid_argument when [n < 1]. *)
+
+val size : t -> int
+
+val vars : t -> rel:string -> attr:string -> Template.var list
+(** The pool of a relation's attribute. *)
+
+val pick : t -> Rng.t -> rel:string -> attr:string -> Template.cell
+(** A random variable from the pool, as a template cell. *)

@@ -1,0 +1,1 @@
+lib/cleaning/detect.ml: Algebra Cfd Cind Conddep_core Conddep_relational Database Db_schema Fmt List Pattern Relation Schema Sigma Tuple

@@ -1,0 +1,1 @@
+lib/cleaning/detect.mli: Cfd Cind Conddep_core Conddep_relational Database Fmt Sigma Tuple

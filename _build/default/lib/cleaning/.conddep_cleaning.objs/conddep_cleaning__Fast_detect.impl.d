@@ -1,0 +1,1 @@
+lib/cleaning/fast_detect.ml: Cfd Cind Conddep_core Conddep_relational Database Db_schema Detect Hashtbl List Option Pattern Relation Schema Sigma Tuple Value

@@ -1,0 +1,1 @@
+lib/cleaning/fast_detect.mli: Cfd Cind Conddep_core Conddep_relational Database Detect Sigma Tuple

@@ -1,0 +1,1 @@
+lib/cleaning/repair.ml: Attribute Cfd Cind Conddep_core Conddep_relational Database Db_schema Detect Domain Fmt Int List Pattern Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/cleaning/repair.mli: Conddep_core Conddep_relational Database Db_schema Detect Fmt Sigma Tuple Value

@@ -1,0 +1,1 @@
+lib/cleaning/report.ml: Conddep_relational Detect Fmt Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/cleaning/report.mli: Conddep_core Conddep_relational Database Detect Fmt Sigma

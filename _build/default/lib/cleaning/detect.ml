@@ -1,0 +1,96 @@
+open Conddep_relational
+open Conddep_core
+
+(* Constraint-based dirty-data detection (the data-cleaning application of
+   Example 1.2): every CFD/CIND violation in a database, with enough
+   provenance to explain and repair it.  CIND violations are found with an
+   anti-join, the relational form of the SQL detection queries of [9]. *)
+
+type violation =
+  | Cfd_violation of {
+      constraint_name : string;
+      rel : string;
+      nf : Cfd.nf;
+      t1 : Tuple.t;
+      t2 : Tuple.t;
+    }
+  | Cind_violation of {
+      constraint_name : string;
+      lhs : string;
+      rhs : string;
+      nf : Cind.nf;
+      tuple : Tuple.t; (* LHS tuple lacking a witness *)
+    }
+
+let violation_constraint = function
+  | Cfd_violation v -> v.constraint_name
+  | Cind_violation v -> v.constraint_name
+
+let violation_rel = function
+  | Cfd_violation v -> v.rel
+  | Cind_violation v -> v.lhs
+
+(* CIND violations via anti-join: triggering LHS tuples minus those with a
+   matching partner in the (pattern-restricted) RHS relation. *)
+let cind_violations db (nf : Cind.nf) =
+  let schema = Database.schema db in
+  let r1 = Db_schema.find schema nf.Cind.nf_lhs in
+  let r2 = Db_schema.find schema nf.nf_rhs in
+  let lhs_rel = Database.relation db nf.nf_lhs in
+  let rhs_rel = Database.relation db nf.nf_rhs in
+  let triggering =
+    Algebra.select_pattern r1 (List.map fst nf.nf_xp)
+      (List.map (fun (_, v) -> Pattern.Const v) nf.nf_xp)
+      lhs_rel
+  in
+  let restricted =
+    Algebra.select_pattern r2 (List.map fst nf.nf_yp)
+      (List.map (fun (_, v) -> Pattern.Const v) nf.nf_yp)
+      rhs_rel
+  in
+  let lpos = List.map (Schema.position r1) nf.nf_x in
+  let rpos = List.map (Schema.position r2) nf.nf_y in
+  Relation.tuples (Algebra.anti_join triggering ~lpos restricted ~rpos)
+
+let detect db (sigma : Sigma.nf) =
+  let cfd_violations =
+    List.concat_map
+      (fun nf ->
+        List.map
+          (fun (t1, t2) ->
+            Cfd_violation
+              { constraint_name = nf.Cfd.nf_name; rel = nf.nf_rel; nf; t1; t2 })
+          (Cfd.nf_violations db nf))
+      sigma.Sigma.ncfds
+  in
+  let cind_violations =
+    List.concat_map
+      (fun nf ->
+        List.map
+          (fun tuple ->
+            Cind_violation
+              {
+                constraint_name = nf.Cind.nf_name;
+                lhs = nf.nf_lhs;
+                rhs = nf.nf_rhs;
+                nf;
+                tuple;
+              })
+          (cind_violations db nf))
+      sigma.Sigma.ncinds
+  in
+  cfd_violations @ cind_violations
+
+let is_clean db sigma = detect db sigma = []
+
+let pp_violation ppf = function
+  | Cfd_violation { constraint_name; rel; t1; t2; _ } ->
+      if Tuple.equal t1 t2 then
+        Fmt.pf ppf "@[<h>CFD %s violated in %s by tuple %a@]" constraint_name rel
+          Tuple.pp t1
+      else
+        Fmt.pf ppf "@[<h>CFD %s violated in %s by tuples %a and %a@]" constraint_name
+          rel Tuple.pp t1 Tuple.pp t2
+  | Cind_violation { constraint_name; lhs; rhs; tuple; _ } ->
+      Fmt.pf ppf "@[<h>CIND %s violated: %s tuple %a has no match in %s@]"
+        constraint_name lhs Tuple.pp tuple rhs

@@ -1,0 +1,37 @@
+open Conddep_relational
+open Conddep_core
+
+(** Constraint-based dirty-data detection (the data-cleaning application of
+    Example 1.2): every CFD/CIND violation in a database with provenance.
+    CIND violations are computed by anti-join, the relational form of the
+    SQL detection queries of Bohannon et al. [9]. *)
+
+type violation =
+  | Cfd_violation of {
+      constraint_name : string;
+      rel : string;
+      nf : Cfd.nf;
+      t1 : Tuple.t;
+      t2 : Tuple.t;  (** equal to [t1] for single-tuple violations *)
+    }
+  | Cind_violation of {
+      constraint_name : string;
+      lhs : string;
+      rhs : string;
+      nf : Cind.nf;
+      tuple : Tuple.t;  (** LHS tuple lacking a witness *)
+    }
+
+val violation_constraint : violation -> string
+val violation_rel : violation -> string
+(** The relation holding the offending tuple(s). *)
+
+val cind_violations : Database.t -> Cind.nf -> Tuple.t list
+(** Triggering LHS tuples with no RHS partner (anti-join based). *)
+
+val detect : Database.t -> Sigma.nf -> violation list
+(** All violations of Σ in the database. *)
+
+val is_clean : Database.t -> Sigma.nf -> bool
+
+val pp_violation : violation Fmt.t

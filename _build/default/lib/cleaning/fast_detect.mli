@@ -1,0 +1,19 @@
+open Conddep_relational
+open Conddep_core
+
+(** Scalable violation detection — the hash-grouped / indexed counterpart
+    of {!Detect} (same violation sets, differentially tested), analogous to
+    the SQL detection queries of Bohannon et al. [9].
+
+    CFDs are detected by grouping on the X-projection (linear in the data
+    plus the size of the violating groups); CINDs by a hash index on the
+    pattern-restricted RHS projection (one lookup per LHS tuple). *)
+
+val cfd_violations : Database.t -> Cfd.nf -> (Tuple.t * Tuple.t) list
+(** Same set of violating pairs as {!Cfd.nf_violations}, up to order. *)
+
+val cind_violations : Database.t -> Cind.nf -> Tuple.t list
+(** Same set of violating tuples as {!Detect.cind_violations}, up to order. *)
+
+val detect : Database.t -> Sigma.nf -> Detect.violation list
+val is_clean : Database.t -> Sigma.nf -> bool

@@ -1,0 +1,1 @@
+lib/consistency/cfd_checking.ml: Array Attribute Cfd Chase Cnf Conddep_chase Conddep_core Conddep_relational Conddep_sat Db_schema Domain List Option Pattern Schema Solver String Template Tuple Value

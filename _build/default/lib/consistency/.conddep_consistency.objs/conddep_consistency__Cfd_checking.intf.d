@@ -1,0 +1,1 @@
+lib/consistency/cfd_checking.mli: Cfd Chase Conddep_chase Conddep_core Conddep_relational Db_schema Rng Template Tuple Value

@@ -1,0 +1,1 @@
+lib/consistency/checking.ml: Conddep_core Conddep_relational Database Preprocessing Random_checking Sigma

@@ -1,0 +1,1 @@
+lib/consistency/depgraph.ml: Cfd Cind Conddep_core Conddep_relational Db_schema Fmt Hashtbl List Option Sigma String

@@ -1,0 +1,1 @@
+lib/consistency/depgraph.mli: Cfd Cind Conddep_core Conddep_relational Db_schema Fmt Sigma

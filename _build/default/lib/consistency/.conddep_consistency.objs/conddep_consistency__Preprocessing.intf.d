@@ -1,0 +1,1 @@
+lib/consistency/preprocessing.mli: Cfd Cfd_checking Cind Conddep_chase Conddep_core Conddep_relational Database Db_schema Rng Sigma Template

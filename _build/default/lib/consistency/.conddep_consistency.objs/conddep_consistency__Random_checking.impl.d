@@ -1,0 +1,1 @@
+lib/consistency/random_checking.ml: Cfd_checking Chase Conddep_chase Conddep_core Conddep_relational Database Db_schema List Pool Rng Sigma Template Value

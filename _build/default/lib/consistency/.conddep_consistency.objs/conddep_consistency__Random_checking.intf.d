@@ -1,0 +1,1 @@
+lib/consistency/random_checking.mli: Chase Conddep_chase Conddep_core Conddep_relational Database Db_schema Rng Sigma

@@ -1,0 +1,173 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_chase
+open Conddep_sat
+
+(* Procedure CFD_Checking (Sections 5.2–5.3): given a database template,
+   chase with the CFDs of Σ only — instantiating variables forced by
+   constant bindings — then try random valuations of the remaining
+   finite-domain variables.  Succeeds with a template in which every
+   finite-domain variable holds a constant, iff one is found within K_CFD
+   attempts.
+
+   Two implementations, compared in Fig 10(a):
+   - [Chase]: the bounded chase described above (incomplete for small
+     K_CFD — the accuracy experiment of Fig 10(b));
+   - [Sat]: reduction of the single-tuple CSP to CNF, decided by the
+     complete DPLL solver (stands in for SAT4j). *)
+
+type backend =
+  | Chase_backend
+  | Sat_backend
+
+(* --- chase-based CFD_Checking on an arbitrary template --- *)
+
+let check_template ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
+  match Chase.fd_fixpoint compiled_cfds db with
+  | Chase.Undefined _ -> None
+  | Chase.Terminal db -> (
+      match Template.finite_variables db with
+      | [] -> Some db
+      | _ ->
+          let demanded =
+            Chase.conclusion_constants (Template.schema db) compiled_cfds
+          in
+          let prefer rel attr =
+            List.filter_map
+              (fun ((r, a), v) ->
+                if String.equal r rel && String.equal a attr then Some v else None)
+              demanded
+          in
+          let rec attempts k =
+            if k <= 0 then None
+            else
+              let candidate = Chase.instantiate_finite_vars ~prefer ~avoid rng db in
+              match Chase.fd_fixpoint compiled_cfds candidate with
+              | Chase.Terminal done_db when Template.finite_variables done_db = [] ->
+                  Some done_db
+              | Chase.Terminal _ | Chase.Undefined _ -> attempts (k - 1)
+          in
+          attempts k_cfd)
+
+(* Single-relation consistency via the chase backend: start from the
+   single-tuple template τ(R). *)
+let consistent_rel_chase ?k_cfd ?avoid ~rng schema cfds ~rel =
+  let compiled = List.map (Chase.compile_cfd schema) cfds in
+  check_template ?k_cfd ?avoid ~rng compiled (Chase.seed_tuple schema ~rel)
+
+(* --- SAT-based CFD_Checking --- *)
+
+(* Per-attribute candidate values: the finite domain, or the constants on
+   that attribute plus one fresh value.  [avoid] carries constants from the
+   wider Σ (e.g. CIND patterns) that the fresh value must dodge, so that a
+   "fresh" field never accidentally triggers a pattern elsewhere. *)
+let sat_candidates ~avoid cfds rel_schema =
+  Array.map
+    (fun attr ->
+      let name = Attribute.name attr in
+      match Domain.values (Attribute.domain attr) with
+      | Some vs -> Array.of_list vs
+      | None ->
+          let consts =
+            List.concat_map
+              (fun nf ->
+                List.filter_map
+                  (fun (a, v) -> if String.equal a name then Some v else None)
+                  (Cfd.nf_constants nf))
+              cfds
+            |> List.sort_uniq Value.compare
+          in
+          let fresh = Domain.fresh (Attribute.domain attr) ~avoid:(consts @ avoid) in
+          Array.of_list (consts @ Option.to_list fresh))
+    (Array.of_list (Schema.attrs rel_schema))
+
+(* Encode single-tuple satisfiability of CFD(R) as CNF:
+   one boolean per (attribute, candidate), exactly-one per attribute, and
+   per CFD (X -> A, (tx || a)) the clause ¬tx[X1] ∨ ... ∨ x_{A,a}. *)
+let encode ~avoid cfds rel_schema =
+  let cands = sat_candidates ~avoid cfds rel_schema in
+  let arity = Schema.arity rel_schema in
+  let offsets = Array.make arity 0 in
+  let num_vars = ref 0 in
+  Array.iteri
+    (fun i c ->
+      offsets.(i) <- !num_vars;
+      num_vars := !num_vars + Array.length c)
+    cands;
+  let var_of pos idx = offsets.(pos) + idx + 1 in
+  let index_of pos v =
+    let c = cands.(pos) in
+    let rec go i = if i >= Array.length c then None else if Value.equal c.(i) v then Some i else go (i + 1) in
+    go 0
+  in
+  let clauses = ref [] in
+  (* exactly-one per attribute *)
+  for pos = 0 to arity - 1 do
+    let n = Array.length cands.(pos) in
+    clauses := List.init n (fun i -> var_of pos i) :: !clauses;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        clauses := [ -var_of pos i; -var_of pos j ] :: !clauses
+      done
+    done
+  done;
+  (* CFD constraints *)
+  List.iter
+    (fun nf ->
+      match nf.Cfd.nf_ta with
+      | Pattern.Wildcard -> () (* trivially satisfied by a single tuple *)
+      | Pattern.Const a -> (
+          let apos = Schema.position rel_schema nf.nf_a in
+          match index_of apos a with
+          | None -> () (* constant not representable: cannot be required, so the
+                          tableau row can never be satisfied — but then neither
+                          can the premise force anything; drop conservatively *)
+          | Some aidx ->
+              let rec build acc = function
+                | [] -> Some acc
+                | (attr, Pattern.Wildcard) :: rest ->
+                    ignore attr;
+                    build acc rest
+                | (attr, Pattern.Const v) :: rest -> (
+                    let pos = Schema.position rel_schema attr in
+                    match index_of pos v with
+                    | None -> None (* premise unsatisfiable: clause trivially true *)
+                    | Some idx -> build (-var_of pos idx :: acc) rest)
+              in
+              match build [] (List.combine nf.nf_x nf.nf_tx) with
+              | None -> ()
+              | Some negs -> clauses := (var_of apos aidx :: negs) :: !clauses))
+    cfds;
+  (Cnf.make ~num_vars:!num_vars !clauses, cands, var_of)
+
+let consistent_rel_sat ?(avoid = []) schema cfds ~rel =
+  let rel_schema = Db_schema.find schema rel in
+  let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
+  let cnf, cands, var_of = encode ~avoid cfds rel_schema in
+  match Solver.solve cnf with
+  | Solver.Unsat -> None
+  | Solver.Sat model ->
+      let arity = Schema.arity rel_schema in
+      let values =
+        List.init arity (fun pos ->
+            let n = Array.length cands.(pos) in
+            let rec find i = if i >= n then assert false else if model.(var_of pos i) then cands.(pos).(i) else find (i + 1) in
+            find 0)
+      in
+      Some (Tuple.make values)
+
+(* Uniform front-end on the single-tuple problem: a satisfying template
+   tuple, with finite-domain fields concrete, or None. *)
+let consistent_rel ?(backend = Chase_backend) ?avoid ?k_cfd ~rng schema cfds ~rel =
+  match backend with
+  | Chase_backend -> (
+      let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
+      match consistent_rel_chase ?k_cfd ?avoid ~rng schema cfds ~rel with
+      | None -> None
+      | Some db -> (
+          match Template.tuples db rel with [ t ] -> Some t | _ -> assert false))
+  | Sat_backend -> (
+      match consistent_rel_sat ?avoid schema cfds ~rel with
+      | None -> None
+      | Some tuple ->
+          Some (Array.map (fun v -> Template.C v) (Array.of_list (Tuple.to_list tuple))))

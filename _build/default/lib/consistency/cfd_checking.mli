@@ -1,0 +1,50 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_chase
+
+(** Procedure CFD_Checking (Sections 5.2–5.3), in its two implementations
+    compared in Fig 10(a): chase-based (heuristic, bounded by K_CFD random
+    valuations of finite-domain variables) and SAT-based (complete, via the
+    DPLL solver standing in for SAT4j). *)
+
+type backend =
+  | Chase_backend
+  | Sat_backend
+
+val check_template :
+  ?k_cfd:int ->
+  ?avoid:Value.t list ->
+  rng:Rng.t ->
+  Chase.compiled_cfd list ->
+  Template.t ->
+  Template.t option
+(** Chase a template with CFDs only, then try up to [k_cfd] random
+    valuations of the remaining finite-domain variables; returns a template
+    whose finite-domain variables are all constants, if one is found. *)
+
+val consistent_rel_chase :
+  ?k_cfd:int ->
+  ?avoid:Value.t list ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  Cfd.nf list ->
+  rel:string ->
+  Template.t option
+(** [check_template] starting from the single-tuple template τ(rel). *)
+
+val consistent_rel_sat :
+  ?avoid:Value.t list -> Db_schema.t -> Cfd.nf list -> rel:string -> Tuple.t option
+(** Complete single-tuple consistency via CNF encoding; a satisfying tuple
+    or [None].  Fresh values additionally dodge the [avoid] constants. *)
+
+val consistent_rel :
+  ?backend:backend ->
+  ?avoid:Value.t list ->
+  ?k_cfd:int ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  Cfd.nf list ->
+  rel:string ->
+  Template.tuple option
+(** Uniform front-end: the instantiated tuple template τ(rel) satisfying
+    CFD(rel), or [None] if none found (definitely none, for [Sat_backend]). *)

@@ -1,0 +1,35 @@
+open Conddep_relational
+open Conddep_core
+
+(* Algorithm Checking (Fig 9): preProcessing first; when it has no
+   definitive answer, run RandomChecking on each remaining weakly connected
+   component of the reduced dependency graph.  The component's constraints
+   include the non-triggering CFDs accumulated during preProcessing, so a
+   component witness extends to a witness for all of Σ by leaving every
+   other relation empty — which we verify before answering. *)
+
+type result =
+  | Consistent of Database.t
+  | Inconsistent
+  | Unknown
+
+let check ?backend ?config ?k ?k_cfd ~rng schema (sigma : Sigma.nf) =
+  match Preprocessing.run ?backend ?k_cfd ~rng schema sigma with
+  | Preprocessing.Consistent db -> Consistent db
+  | Preprocessing.Inconsistent -> Inconsistent
+  | Preprocessing.Unknown components ->
+      let rec try_components = function
+        | [] -> Unknown
+        | (members, component_sigma) :: rest -> (
+            match
+              Random_checking.check ?config ?k ?k_cfd ~seed_rels:members ~rng schema
+                component_sigma
+            with
+            | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
+                Consistent db
+            | Random_checking.Consistent _ | Random_checking.Unknown ->
+                try_components rest)
+      in
+      try_components components
+
+let to_bool = function Consistent _ -> true | Inconsistent | Unknown -> false

@@ -1,0 +1,26 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_chase
+
+(** Algorithm Checking (Fig 9): preProcessing + per-component
+    RandomChecking.  Sound: [Consistent] carries a verified witness;
+    [Inconsistent] is definitive (Fig 7's reduction emptied the graph);
+    [Unknown] means no witness was found within the budgets. *)
+
+type result =
+  | Consistent of Database.t
+  | Inconsistent
+  | Unknown
+
+val check :
+  ?backend:Cfd_checking.backend ->
+  ?config:Chase.config ->
+  ?k:int ->
+  ?k_cfd:int ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  Sigma.nf ->
+  result
+
+val to_bool : result -> bool
+(** The paper's boolean answer: [true] only for [Consistent]. *)

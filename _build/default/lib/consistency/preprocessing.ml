@@ -1,0 +1,134 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_chase
+
+(* Algorithm preProcessing (Fig 7): reduce the dependency graph by local
+   CFD-consistency analysis.
+
+   For each vertex R in topological order (targets first): if CFD(R) is
+   consistent and its witness tuple τ(R) triggers no CIND, Σ is consistent
+   — the database { τ(R) } with all other relations empty is a witness.
+   If CFD(R) is inconsistent, R must be empty in every model, so R is
+   deleted after the non-triggering CFDs CIND(Rj, R)⊥ are added to every
+   predecessor Rj, denying the tuples that would require a partner in R;
+   affected predecessors are re-queued.  Finally indegree-0 vertices are
+   pruned (they may be empty without impact).  An empty graph means every
+   relation is forced empty — Σ is inconsistent. *)
+
+type result =
+  | Consistent of Database.t
+  | Inconsistent
+  | Unknown of (string list * Sigma.nf) list
+      (* weakly connected components with their (extended) constraints *)
+
+(* The non-triggering CFDs CIND(Rj, R)⊥ for one CIND ψ from Rj to R:
+   (Rj : Xp -> A, (tp[Xp] || c1)) and (Rj : Xp -> A, (tp[Xp] || c2)) with
+   c1 <> c2, denying every Rj tuple that matches tp[Xp]. *)
+let non_triggering schema (cind : Cind.nf) =
+  let rj = Db_schema.find schema cind.Cind.nf_lhs in
+  (* an attribute offering two distinct constants *)
+  let pick_attr () =
+    let viable attr =
+      let dom = Attribute.domain attr in
+      match Domain.cardinal dom with Some n -> n >= 2 | None -> true
+    in
+    List.find_opt viable (Schema.attrs rj)
+  in
+  match pick_attr () with
+  | None -> [] (* all domains are singletons: denial impossible (pathological) *)
+  | Some attr ->
+      let dom = Attribute.domain attr in
+      let c1 = Domain.fresh dom ~avoid:[] |> Option.get in
+      let c2 = Domain.fresh dom ~avoid:[ c1 ] |> Option.get in
+      let x = List.map fst cind.nf_xp in
+      let tx = List.map (fun (_, v) -> Pattern.Const v) cind.nf_xp in
+      let make c =
+        {
+          Cfd.nf_name = Printf.sprintf "%s_bot" cind.nf_name;
+          nf_rel = cind.nf_lhs;
+          nf_x = x;
+          nf_a = Attribute.name attr;
+          nf_tx = tx;
+          nf_ta = Pattern.Const c;
+        }
+      in
+      [ make c1; make c2 ]
+
+(* Does the instantiated template tuple τ(R) trigger ψ?  Pattern-free CINDs
+   (Xp = nil) are triggered by any tuple; otherwise every Xp field must
+   hold the pattern constant (remaining variables denote fresh values that
+   match no constant). *)
+let tuple_triggers schema (cind : Cind.nf) (tau : Template.tuple) =
+  let r = Db_schema.find schema cind.Cind.nf_lhs in
+  List.for_all
+    (fun (a, v) ->
+      Template.cell_equal tau.(Schema.position r a) (Template.C v))
+    cind.nf_xp
+
+(* Concretize a single instantiated template tuple into a one-tuple witness
+   database (all other relations empty). *)
+let singleton_db schema ~rel ~avoid (tau : Template.tuple) =
+  let db = Template.add (Template.empty schema) rel tau in
+  Template.to_database ~avoid db
+
+let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
+  let g = Depgraph.make schema sigma in
+  let avoid =
+    List.map (fun (_, _, v) -> v) (Sigma.constants sigma) |> List.sort_uniq Value.compare
+  in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  let enqueue r =
+    if not (Hashtbl.mem queued r) then begin
+      Hashtbl.replace queued r ();
+      Queue.push r queue
+    end
+  in
+  List.iter enqueue (Depgraph.topo_order g);
+  let outcome = ref None in
+  while !outcome = None && not (Queue.is_empty queue) do
+    let r = Queue.pop queue in
+    Hashtbl.remove queued r;
+    if Depgraph.is_live g r then begin
+      match
+        Cfd_checking.consistent_rel ?backend ~avoid ?k_cfd ~rng schema
+          (Depgraph.cfd_set g r) ~rel:r
+      with
+      | Some tau ->
+          let triggering =
+            List.filter (fun c -> String.equal c.Cind.nf_lhs r) sigma.Sigma.ncinds
+            |> List.exists (fun c -> tuple_triggers schema c tau)
+          in
+          if not triggering then begin
+            let db = singleton_db schema ~rel:r ~avoid tau in
+            (* sanity: the one-tuple database must satisfy Σ *)
+            if Sigma.nf_holds db sigma then outcome := Some (Consistent db)
+          end
+      | None ->
+          (* CFD(r) inconsistent: r must be empty. *)
+          List.iter
+            (fun rj ->
+              let bots =
+                List.concat_map (non_triggering schema)
+                  (Depgraph.cinds_between g ~src:rj ~dst:r)
+              in
+              if bots <> [] then begin
+                Depgraph.add_cfds g rj bots;
+                enqueue rj
+              end)
+            (Depgraph.predecessors g r);
+          Depgraph.remove g r
+    end
+  done;
+  match !outcome with
+  | Some r -> r
+  | None ->
+      (* prune indegree-0 vertices (single pass, as in Fig 7 line 13) *)
+      let zero = List.filter (fun r -> Depgraph.indegree g r = 0) (Depgraph.live g) in
+      List.iter (Depgraph.remove g) zero;
+      if Depgraph.live g = [] then Inconsistent
+      else
+        Unknown
+          (List.map
+             (fun members -> (members, Depgraph.component_sigma g members))
+             (Depgraph.weak_components g))

@@ -1,0 +1,27 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_chase
+
+(** Algorithm RandomChecking (Fig 5), with the improvement of Section 5.2:
+    the instantiated chase interleaved with CFD_Checking, attempted over up
+    to K random runs.  Sound but incomplete (Theorem 5.1): [Consistent]
+    answers carry a verified witness database. *)
+
+type result =
+  | Consistent of Database.t
+  | Unknown
+
+val check :
+  ?config:Chase.config ->
+  ?k:int ->
+  ?k_cfd:int ->
+  ?seed_rels:string list ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  Sigma.nf ->
+  result
+(** [k] is the number of random runs K (default 20, the paper's setting);
+    [k_cfd] bounds the random valuations inside CFD_Checking; [seed_rels]
+    restricts the starting relation (used per component by Checking). *)
+
+val to_bool : result -> bool

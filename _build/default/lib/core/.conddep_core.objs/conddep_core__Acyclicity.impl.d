@@ -1,0 +1,1 @@
+lib/core/acyclicity.ml: Cind Conddep_relational Db_schema Fmt Hashtbl List Option Schema

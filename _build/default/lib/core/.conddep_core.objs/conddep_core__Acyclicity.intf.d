@@ -1,0 +1,1 @@
+lib/core/acyclicity.mli: Cind Conddep_relational Db_schema Fmt

@@ -1,0 +1,1 @@
+lib/core/cfd.ml: Conddep_relational Database Db_schema Domain Fmt List Option Pattern Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/cfd_consistency.ml: Array Attribute Cfd Conddep_relational Db_schema Domain List Option Pattern Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/cfd_implication.mli: Cfd Conddep_relational Db_schema

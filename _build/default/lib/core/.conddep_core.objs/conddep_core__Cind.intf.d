@@ -1,0 +1,1 @@
+lib/core/cind.mli: Conddep_relational Database Db_schema Fmt Pattern Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/fd.ml: Cfd Conddep_relational Fmt List Pattern Set String

@@ -1,0 +1,1 @@
+lib/core/fd.mli: Cfd Conddep_relational Database Fmt

@@ -1,0 +1,1 @@
+lib/core/implication.ml: Array Attribute Cind Conddep_relational Db_schema Domain Fun Hashtbl List Queue Schema String Value

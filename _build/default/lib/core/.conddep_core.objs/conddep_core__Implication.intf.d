@@ -1,0 +1,1 @@
+lib/core/implication.mli: Cind Conddep_relational Db_schema

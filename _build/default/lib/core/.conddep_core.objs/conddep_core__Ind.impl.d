@@ -1,0 +1,1 @@
+lib/core/ind.ml: Cind Conddep_relational Fmt List Option Pattern Set String

@@ -1,0 +1,1 @@
+lib/core/ind.mli: Cind Conddep_relational Database Fmt

@@ -1,0 +1,1 @@
+lib/core/inference.ml: Array Attribute Cind Conddep_relational Db_schema Domain Fmt Int List Option Result Schema String Value

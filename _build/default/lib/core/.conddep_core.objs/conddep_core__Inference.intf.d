@@ -1,0 +1,1 @@
+lib/core/inference.mli: Cind Conddep_relational Db_schema Fmt Value

@@ -1,0 +1,1 @@
+lib/core/logic.ml: Cfd Cind Conddep_relational Database Db_schema Fmt List Map Option Pattern Printf Relation Schema String Tuple Value

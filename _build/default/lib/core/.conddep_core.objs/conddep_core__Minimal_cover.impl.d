@@ -1,0 +1,1 @@
+lib/core/minimal_cover.ml: Cfd Cfd_implication Cind Implication List

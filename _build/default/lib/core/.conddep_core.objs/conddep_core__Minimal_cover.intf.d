@@ -1,0 +1,1 @@
+lib/core/minimal_cover.mli: Cfd Cind Conddep_relational Db_schema

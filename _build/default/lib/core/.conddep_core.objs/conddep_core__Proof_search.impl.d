@@ -1,0 +1,1 @@
+lib/core/proof_search.ml: Array Attribute Cind Conddep_relational Db_schema Fmt Fun Implication Inference List Queue Schema String Value

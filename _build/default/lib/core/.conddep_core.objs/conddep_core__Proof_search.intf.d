@@ -1,0 +1,1 @@
+lib/core/proof_search.mli: Cind Conddep_relational Db_schema Inference

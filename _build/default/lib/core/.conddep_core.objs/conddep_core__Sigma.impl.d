@@ -1,0 +1,1 @@
+lib/core/sigma.ml: Cfd Cind Fmt List Result String

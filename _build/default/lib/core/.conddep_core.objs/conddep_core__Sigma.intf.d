@@ -1,0 +1,1 @@
+lib/core/sigma.mli: Cfd Cind Conddep_relational Database Db_schema Fmt Value

@@ -1,0 +1,1 @@
+lib/core/views.ml: Cfd Cind Conddep_relational Database Db_schema List Printf Relation Schema Sigma String Tuple

@@ -1,0 +1,1 @@
+lib/core/views.mli: Cfd Cind Conddep_relational Database Db_schema Schema Sigma

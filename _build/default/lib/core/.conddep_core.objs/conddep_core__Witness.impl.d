@@ -1,0 +1,1 @@
+lib/core/witness.ml: Attribute Cind Conddep_relational Database Db_schema Domain Hashtbl List Option Relation Schema String Tuple Value

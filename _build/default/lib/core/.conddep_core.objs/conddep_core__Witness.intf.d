@@ -1,0 +1,1 @@
+lib/core/witness.mli: Cind Conddep_relational Database Db_schema Value

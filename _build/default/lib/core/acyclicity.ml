@@ -1,0 +1,106 @@
+open Conddep_relational
+
+(* Weak acyclicity of CIND sets.
+
+   The paper's conclusion asks whether better complexity bounds hold for
+   acyclic CINDs (Section 8).  Since CINDs are TGDs with constants, the
+   standard data-exchange criterion applies: build the position graph over
+   (relation, attribute) pairs with
+
+   - a REGULAR edge (R1, Ai) -> (R2, Bi) for every copy pair of a CIND, and
+   - a SPECIAL edge (R1, Ai) -> (R2, E) for every existential position E of
+     its RHS (attributes outside Y ∪ Yp, filled with fresh values);
+
+   the set is weakly acyclic iff no cycle traverses a special edge.  For
+   weakly acyclic sets the unbounded chase terminates, so consistency
+   checking needs neither the pool bound N nor the threshold T. *)
+
+type position = string * string (* relation, attribute *)
+
+type edge = { src : position; dst : position; special : bool }
+
+let edges schema (sigma : Cind.nf list) =
+  List.concat_map
+    (fun (nf : Cind.nf) ->
+      let r2 = Db_schema.find schema nf.Cind.nf_rhs in
+      let existential =
+        List.filter
+          (fun a ->
+            (not (List.mem a nf.nf_y)) && not (List.mem_assoc a nf.nf_yp))
+          (Schema.attr_names r2)
+      in
+      List.concat_map
+        (fun (a, b) ->
+          { src = (nf.nf_lhs, a); dst = (nf.nf_rhs, b); special = false }
+          :: List.map
+               (fun e -> { src = (nf.nf_lhs, a); dst = (nf.nf_rhs, e); special = true })
+               existential)
+        (List.combine nf.nf_x nf.nf_y))
+    sigma
+
+(* Tarjan SCC over the position graph. *)
+let sccs all_edges =
+  let succ = Hashtbl.create 64 in
+  let nodes = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace nodes e.src ();
+      Hashtbl.replace nodes e.dst ();
+      Hashtbl.replace succ e.src (e.dst :: Option.value ~default:[] (Hashtbl.find_opt succ e.src)))
+    all_edges;
+  let index = Hashtbl.create 64 and lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] and counter = ref 0 and components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Option.value ~default:[] (Hashtbl.find_opt succ v));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  Hashtbl.iter (fun v () -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  !components
+
+(* A special edge inside a strongly connected component witnesses a cycle
+   through it. *)
+let offending_edge schema sigma =
+  let all_edges = edges schema sigma in
+  let components = sccs all_edges in
+  let component_of = Hashtbl.create 64 in
+  List.iteri
+    (fun i comp -> List.iter (fun p -> Hashtbl.replace component_of p i) comp)
+    components;
+  List.find_opt
+    (fun e ->
+      e.special
+      && Hashtbl.find_opt component_of e.src = Hashtbl.find_opt component_of e.dst
+      && Hashtbl.mem component_of e.src)
+    all_edges
+
+let weakly_acyclic schema sigma = Option.is_none (offending_edge schema sigma)
+
+let pp_position ppf (rel, attr) = Fmt.pf ppf "%s.%s" rel attr
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%a %s-> %a" pp_position e.src (if e.special then "*" else "") pp_position
+    e.dst

@@ -1,0 +1,24 @@
+open Conddep_relational
+
+(** Weak acyclicity of CIND sets — the data-exchange chase-termination
+    criterion, addressing the paper's Section 8 question about acyclic
+    CINDs.  For weakly acyclic sets the unbounded chase terminates, so
+    consistency analysis needs neither the variable-pool bound N nor the
+    threshold T. *)
+
+type position = string * string  (** (relation, attribute) *)
+
+type edge = { src : position; dst : position; special : bool }
+
+val edges : Db_schema.t -> Cind.nf list -> edge list
+(** The position graph: regular edges for copy pairs, special edges into
+    existential RHS positions. *)
+
+val weakly_acyclic : Db_schema.t -> Cind.nf list -> bool
+(** No cycle of the position graph traverses a special edge. *)
+
+val offending_edge : Db_schema.t -> Cind.nf list -> edge option
+(** A special edge lying on a cycle, when the set is not weakly acyclic. *)
+
+val pp_position : position Fmt.t
+val pp_edge : edge Fmt.t

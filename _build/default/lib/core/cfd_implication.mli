@@ -1,0 +1,13 @@
+open Conddep_relational
+
+(** Exact CFD implication (coNP-complete, Table 1).
+
+    [Σ ⊭ φ] iff a two-tuple instance of φ's relation satisfies Σ and
+    violates φ (CFD satisfaction is closed under sub-instances); the
+    procedure searches for such a pair. *)
+
+exception Budget_exceeded
+
+val implies : ?max_nodes:int -> Db_schema.t -> sigma:Cfd.nf list -> Cfd.nf -> bool
+(** [implies schema ~sigma phi] decides [sigma |= phi].
+    @raise Budget_exceeded past [max_nodes] search nodes (default 4e6). *)

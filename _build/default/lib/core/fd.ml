@@ -1,0 +1,51 @@
+(* Classical functional dependencies — the degenerate CFDs with all-wildcard
+   tableaux.  Kept as an explicit baseline: Armstrong closure gives
+   linear-time implication, against which the CFD procedures are compared. *)
+
+open Conddep_relational
+
+type t = { rel : string; x : string list; y : string list }
+
+let make ~rel ~x ~y = { rel; x; y }
+
+let to_cfd ?(name = "fd") t =
+  Cfd.make ~name ~rel:t.rel ~x:t.x ~y:t.y
+    [
+      {
+        Cfd.rx = List.map (fun _ -> Pattern.Wildcard) t.x;
+        ry = List.map (fun _ -> Pattern.Wildcard) t.y;
+      };
+    ]
+
+let holds db t = Cfd.holds db (to_cfd t)
+
+module String_set = Set.Make (String)
+
+(* Attribute-set closure under a set of FDs (all on the same relation). *)
+let closure fds attrs =
+  let start = String_set.of_list attrs in
+  let rec fix current =
+    let next =
+      List.fold_left
+        (fun acc fd ->
+          if List.for_all (fun a -> String_set.mem a acc) fd.x then
+            String_set.union acc (String_set.of_list fd.y)
+          else acc)
+        current fds
+    in
+    if String_set.equal next current then current else fix next
+  in
+  String_set.elements (fix start)
+
+(* Σ |= X -> Y iff Y ⊆ closure(X). *)
+let implies sigma t =
+  let same_rel = List.filter (fun fd -> String.equal fd.rel t.rel) sigma in
+  let cl = closure same_rel t.x in
+  List.for_all (fun a -> List.mem a cl) t.y
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a -> %a)" t.rel
+    Fmt.(list ~sep:comma string)
+    t.x
+    Fmt.(list ~sep:comma string)
+    t.y

@@ -1,0 +1,22 @@
+open Conddep_relational
+
+(** Classical functional dependencies, the pattern-free special case of
+    CFDs.  Armstrong-style closure provides the baseline implication
+    procedure the CFD analyses are measured against. *)
+
+type t = { rel : string; x : string list; y : string list }
+
+val make : rel:string -> x:string list -> y:string list -> t
+
+val to_cfd : ?name:string -> t -> Cfd.t
+(** The equivalent CFD with an all-wildcard single-row tableau. *)
+
+val holds : Database.t -> t -> bool
+
+val closure : t list -> string list -> string list
+(** Attribute-set closure under FDs of one relation, sorted. *)
+
+val implies : t list -> t -> bool
+(** Classical FD implication via closure (linear-time). *)
+
+val pp : t Fmt.t

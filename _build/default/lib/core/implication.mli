@@ -1,0 +1,30 @@
+open Conddep_relational
+
+(** Exact decision procedure for CIND implication [Σ |= ψ]
+    (Theorems 3.4 and 3.5).
+
+    The decision is semantic: a counterexample model is sought as a
+    witness-free set of abstract tuple shapes closed under Σ's inclusion
+    requirements, computed as a greatest fixpoint over the reachable shape
+    space.  Free finite-domain fields of created tuples are chosen
+    adversarially (AND–OR alternation — the source of EXPTIME-hardness);
+    without finite-domain attributes the analysis degenerates into plain
+    reachability, matching the PSPACE bound of Theorem 3.5.
+
+    The procedure is exact but worst-case exponential; a state budget
+    bounds the search. *)
+
+exception Budget_exceeded
+(** The shape space exceeded [max_states]; the answer is unknown. *)
+
+val implies : ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
+(** [implies schema ~sigma psi] decides [sigma |= psi].  Inputs are assumed
+    validated against [schema].
+    @raise Budget_exceeded past [max_states] explored shapes (default 50,000). *)
+
+val implies_infinite :
+  ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
+(** Same decision, restricted to the finite-domain-free setting of
+    Theorem 3.5 (where rules CIND1–CIND6 are complete).
+    @raise Invalid_argument if any involved relation has a finite-domain
+    attribute. *)

@@ -1,0 +1,83 @@
+(* Classical inclusion dependencies — the pattern-free special case of
+   CINDs — together with the Casanova–Fagin–Papadimitriou membership
+   procedure for implication (PSPACE in general; here an explicit
+   reachability search over projection states). *)
+
+open Conddep_relational
+
+type t = { lhs : string; x : string list; rhs : string; y : string list }
+
+let make ~lhs ~x ~rhs ~y =
+  if List.length x <> List.length y then invalid_arg "Ind.make: |X| <> |Y|";
+  { lhs; x; rhs; y }
+
+let to_cind ?(name = "ind") t =
+  Cind.make ~name ~lhs:t.lhs ~rhs:t.rhs ~x:t.x ~xp:[] ~y:t.y ~yp:[]
+    [
+      {
+        Cind.cx = List.map (fun _ -> Pattern.Wildcard) t.x;
+        cxp = [];
+        cy = List.map (fun _ -> Pattern.Wildcard) t.y;
+        cyp = [];
+      };
+    ]
+
+let holds db t = Cind.holds db (to_cind t)
+
+(* Implication by reachability over states (T, Z): Z is the image of the
+   goal's X under a derivable inclusion.  From (T, Z), an IND T[U] ⊆ V[W]
+   applies when every attribute of Z occurs in U; the successor replaces
+   each Z attribute by its W counterpart.  Σ |= R[X] ⊆ S[Y] iff (S, Y) is
+   reachable from (R, X) — the classical axiomatization (reflexivity,
+   projection-permutation, transitivity) in operational form. *)
+let implies sigma goal =
+  if List.equal String.equal goal.x goal.y && String.equal goal.lhs goal.rhs then true
+  else begin
+    let module States = Set.Make (struct
+      type t = string * string list
+
+      let compare (r1, l1) (r2, l2) =
+        match String.compare r1 r2 with 0 -> List.compare String.compare l1 l2 | c -> c
+    end) in
+    let target = (goal.rhs, goal.y) in
+    let step (t, z) =
+      List.filter_map
+        (fun ind ->
+          if not (String.equal ind.lhs t) then None
+          else
+            let map_attr a =
+              let rec find us ws =
+                match us, ws with
+                | u :: _, w :: _ when String.equal u a -> Some w
+                | _ :: us, _ :: ws -> find us ws
+                | _, _ -> None
+              in
+              find ind.x ind.y
+            in
+            let images = List.map map_attr z in
+            if List.for_all Option.is_some images then
+              Some (ind.rhs, List.map Option.get images)
+            else None)
+        sigma
+    in
+    let rec bfs visited frontier =
+      if States.mem target visited then true
+      else
+        let next =
+          List.concat_map step (States.elements frontier)
+          |> List.filter (fun s -> not (States.mem s visited))
+          |> States.of_list
+        in
+        if States.is_empty next then false
+        else bfs (States.union visited next) next
+    in
+    let start = States.singleton (goal.lhs, goal.x) in
+    bfs start start
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a] <= %s[%a]" t.lhs
+    Fmt.(list ~sep:comma string)
+    t.x t.rhs
+    Fmt.(list ~sep:comma string)
+    t.y

@@ -1,0 +1,22 @@
+open Conddep_relational
+
+(** Classical inclusion dependencies, the pattern-free special case of
+    CINDs, with the Casanova–Fagin–Papadimitriou implication procedure as
+    the baseline the CIND decision procedures are measured against. *)
+
+type t = { lhs : string; x : string list; rhs : string; y : string list }
+
+val make : lhs:string -> x:string list -> rhs:string -> y:string list -> t
+(** @raise Invalid_argument when [|x| <> |y|]. *)
+
+val to_cind : ?name:string -> t -> Cind.t
+(** The equivalent CIND with empty patterns and an all-wildcard row. *)
+
+val holds : Database.t -> t -> bool
+
+val implies : t list -> t -> bool
+(** [implies sigma goal]: classical IND implication via reachability over
+    projection states (sound and complete for the three-rule IND system;
+    worst-case exponential state space, matching the PSPACE lower bound). *)
+
+val pp : t Fmt.t

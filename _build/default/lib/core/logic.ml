@@ -1,0 +1,195 @@
+open Conddep_relational
+
+(* First-order readings of conditional dependencies.
+
+   The paper remarks (Section 1) that CINDs "do not introduce a new logical
+   formalism": in first-order logic they are tuple-generating dependencies
+   with constants, and CFDs are equality-generating dependencies with
+   constants.  This module renders both, for documentation, debugging and
+   interoperability with TGD-based tooling:
+
+     CIND (R1[X; Xp] ⊆ R2[Y; Yp], tp):
+       ∀x̄ ( R1(x̄) ∧ x_at = 'saving'
+             → ∃ȳ ( R2(ȳ) ∧ y_an = x_an ∧ ... ∧ y_ab = 'EDI' ) )
+
+     CFD (R : X -> A, tp):
+       ∀x̄ ∀x̄' ( R(x̄) ∧ R(x̄') ∧ x_ct = x'_ct ∧ x_ct = 'UK' ∧ ...
+                 → x_rt = x'_rt ∧ x_rt = '1.5%' ) *)
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+type atom =
+  | Rel of string * term list (* R(t1, ..., tn) *)
+  | Eq of term * term
+
+type formula =
+  | Forall of string list * formula
+  | Exists of string list * formula
+  | Implies of formula * formula
+  | And of formula list
+  | Atom of atom
+
+(* --- construction --------------------------------------------------------- *)
+
+let var_of rel attr = Printf.sprintf "%s_%s" rel attr
+
+(* variables x_<attr> for every attribute of [rel], with prefix *)
+let vars_for schema ~prefix rel =
+  let r = Db_schema.find schema rel in
+  List.map (fun a -> var_of prefix a) (Schema.attr_names r)
+
+let rel_atom schema ~prefix rel =
+  Rel (rel, List.map (fun v -> Var v) (vars_for schema ~prefix rel))
+
+(* The TGD of a normal-form CIND. *)
+let cind_to_formula schema (nf : Cind.nf) =
+  let xs = vars_for schema ~prefix:"x" nf.Cind.nf_lhs in
+  let ys = vars_for schema ~prefix:"y" nf.nf_rhs in
+  let premise =
+    And
+      (Atom (rel_atom schema ~prefix:"x" nf.nf_lhs)
+      :: List.map
+           (fun (a, v) -> Atom (Eq (Var (var_of "x" a), Const v)))
+           nf.nf_xp)
+  in
+  let conclusion_eqs =
+    List.map2
+      (fun a b -> Atom (Eq (Var (var_of "y" b), Var (var_of "x" a))))
+      nf.nf_x nf.nf_y
+    @ List.map (fun (b, v) -> Atom (Eq (Var (var_of "y" b), Const v))) nf.nf_yp
+  in
+  let conclusion =
+    Exists (ys, And (Atom (rel_atom schema ~prefix:"y" nf.nf_rhs) :: conclusion_eqs))
+  in
+  Forall (xs, Implies (premise, conclusion))
+
+(* The EGD of a normal-form CFD. *)
+let cfd_to_formula schema (nf : Cfd.nf) =
+  let xs = vars_for schema ~prefix:"x" nf.Cfd.nf_rel in
+  let xs' = vars_for schema ~prefix:"x'" nf.nf_rel in
+  let premise_eqs =
+    List.concat_map
+      (fun (a, cell) ->
+        Atom (Eq (Var (var_of "x" a), Var (var_of "x'" a)))
+        ::
+        (match cell with
+        | Pattern.Const v -> [ Atom (Eq (Var (var_of "x" a), Const v)) ]
+        | Pattern.Wildcard -> []))
+      (List.combine nf.nf_x nf.nf_tx)
+  in
+  let premise =
+    And
+      (Atom (rel_atom schema ~prefix:"x" nf.nf_rel)
+      :: Atom (rel_atom schema ~prefix:"x'" nf.nf_rel)
+      :: premise_eqs)
+  in
+  let conclusion_eqs =
+    Atom (Eq (Var (var_of "x" nf.nf_a), Var (var_of "x'" nf.nf_a)))
+    ::
+    (match nf.nf_ta with
+    | Pattern.Const v -> [ Atom (Eq (Var (var_of "x" nf.nf_a), Const v)) ]
+    | Pattern.Wildcard -> [])
+  in
+  Forall (xs @ xs', Implies (premise, And conclusion_eqs))
+
+(* --- evaluation (for differential testing against the native semantics) --- *)
+
+(* Environments bind variables to values. *)
+module Env = Map.Make (String)
+
+let eval_term env = function
+  | Const v -> Some v
+  | Var x -> Env.find_opt x env
+
+(* Bind the quantified variables of a guard atom R(t̄) to one of R's
+   tuples; [None] when the tuple contradicts already-bound terms. *)
+let bind_guard env terms tuple =
+  let rec go env terms values =
+    match terms, values with
+    | [], [] -> Some env
+    | Var x :: ts, v :: vs -> (
+        match Env.find_opt x env with
+        | None -> go (Env.add x v env) ts vs
+        | Some w -> if Value.equal v w then go env ts vs else None)
+    | Const c :: ts, v :: vs -> if Value.equal c v then go env ts vs else None
+    | _, _ -> None
+  in
+  go env terms (Tuple.to_list tuple)
+
+(* Evaluation is guarded: every quantifier block in the formulas this
+   module builds starts with a relation atom over exactly the quantified
+   variables, so quantifiers iterate over that relation's tuples rather
+   than over a value domain. *)
+let rec eval db env = function
+  | Atom (Eq (t1, t2)) -> (
+      match eval_term env t1, eval_term env t2 with
+      | Some v1, Some v2 -> Value.equal v1 v2
+      | _, _ -> false)
+  | Atom (Rel (rel, terms)) -> (
+      let r = Database.relation db rel in
+      match List.map (eval_term env) terms with
+      | values when List.for_all Option.is_some values ->
+          Relation.mem r (Tuple.make (List.map Option.get values))
+      | _ -> false)
+  | And fs -> List.for_all (eval db env) fs
+  | Implies (p, q) -> (not (eval db env p)) || eval db env q
+  | Forall (vs, Implies (And (Atom (Rel (r1, ts1)) :: Atom (Rel (r2, ts2)) :: conds), concl))
+    ->
+      ignore vs;
+      Relation.for_all
+        (fun tu1 ->
+          match bind_guard env ts1 tu1 with
+          | None -> true
+          | Some env ->
+              Relation.for_all
+                (fun tu2 ->
+                  match bind_guard env ts2 tu2 with
+                  | None -> true
+                  | Some env ->
+                      (not (List.for_all (eval db env) conds)) || eval db env concl)
+                (Database.relation db r2))
+        (Database.relation db r1)
+  | Forall (vs, Implies (And (Atom (Rel (rel, terms)) :: conds), concl)) ->
+      ignore vs;
+      Relation.for_all
+        (fun tuple ->
+          match bind_guard env terms tuple with
+          | None -> true
+          | Some env ->
+              (not (List.for_all (eval db env) conds)) || eval db env concl)
+        (Database.relation db rel)
+  | Exists (vs, And (Atom (Rel (rel, terms)) :: conds)) ->
+      ignore vs;
+      Relation.exists
+        (fun tuple ->
+          match bind_guard env terms tuple with
+          | None -> false
+          | Some env -> List.for_all (eval db env) conds)
+        (Database.relation db rel)
+  | Forall _ | Exists _ ->
+      invalid_arg "Logic.eval: unguarded quantifier (not produced by this module)"
+
+let holds db f = eval db Env.empty f
+
+(* --- printing -------------------------------------------------------------- *)
+
+let pp_term ppf = function
+  | Var x -> Fmt.string ppf x
+  | Const v -> Value.pp ppf v
+
+let pp_atom ppf = function
+  | Rel (r, ts) -> Fmt.pf ppf "@[<h>%s(%a)@]" r Fmt.(list ~sep:comma pp_term) ts
+  | Eq (t1, t2) -> Fmt.pf ppf "%a = %a" pp_term t1 pp_term t2
+
+let rec pp ppf = function
+  | Forall (vs, f) ->
+      Fmt.pf ppf "@[<hv2>forall @[<h>%a@].@ %a@]" Fmt.(list ~sep:comma string) vs pp f
+  | Exists (vs, f) ->
+      Fmt.pf ppf "@[<hv2>exists @[<h>%a@].@ %a@]" Fmt.(list ~sep:comma string) vs pp f
+  | Implies (p, q) -> Fmt.pf ppf "@[<hv>(%a@ -> %a)@]" pp p pp q
+  | And [] -> Fmt.string ppf "true"
+  | And [ f ] -> pp ppf f
+  | And fs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " /\\ ") pp) fs
+  | Atom a -> pp_atom ppf a

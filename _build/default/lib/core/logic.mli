@@ -1,0 +1,40 @@
+open Conddep_relational
+
+(** First-order readings of conditional dependencies.
+
+    As the paper remarks, CINDs are tuple-generating dependencies with
+    constants and CFDs are equality-generating dependencies with constants.
+    This module renders both as explicit FO sentences (for documentation
+    and interoperability) and evaluates them over databases — a semantics
+    that must and does agree with the native {!Cind.holds}/{!Cfd.holds}
+    (property-tested). *)
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+type atom =
+  | Rel of string * term list
+  | Eq of term * term
+
+type formula =
+  | Forall of string list * formula
+  | Exists of string list * formula
+  | Implies of formula * formula
+  | And of formula list
+  | Atom of atom
+
+val cind_to_formula : Db_schema.t -> Cind.nf -> formula
+(** The TGD-with-constants of a normal-form CIND. *)
+
+val cfd_to_formula : Db_schema.t -> Cfd.nf -> formula
+(** The EGD-with-constants of a normal-form CFD. *)
+
+val holds : Database.t -> formula -> bool
+(** Guarded evaluation: quantifier blocks (as produced by this module)
+    iterate over the guarding relation's tuples.
+    @raise Invalid_argument on unguarded quantifiers. *)
+
+val pp : formula Fmt.t
+val pp_atom : atom Fmt.t
+val pp_term : term Fmt.t

@@ -1,0 +1,49 @@
+(* Minimal covers (Section 8, future work): remove from Σ every constraint
+   implied by the rest.  Implication of CINDs is EXPTIME-complete and that
+   of CFDs coNP-complete, so the greedy removal below is exact but
+   worst-case expensive; a per-call budget turns it into the heuristic the
+   paper anticipates — when a test blows the budget the constraint is
+   conservatively kept. *)
+
+let greedy ~implied items =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | x :: rest ->
+        let others = List.rev_append kept rest in
+        if implied others x then go kept rest else go (x :: kept) rest
+  in
+  go [] items
+
+let cind_cover ?(max_states = 20_000) schema sigma =
+  let implied others psi =
+    match Implication.implies ~max_states schema ~sigma:others psi with
+    | b -> b
+    | exception Implication.Budget_exceeded -> false
+  in
+  greedy ~implied sigma
+
+let cfd_cover ?(max_nodes = 200_000) schema sigma =
+  let implied others phi =
+    match Cfd_implication.implies ~max_nodes schema ~sigma:others phi with
+    | b -> b
+    | exception Cfd_implication.Budget_exceeded -> false
+  in
+  greedy ~implied sigma
+
+(* Drop exact syntactic duplicates first — cheap and always safe. *)
+let dedup_cinds sigma =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        let x = Cind.canon_nf x in
+        if List.exists (Cind.nf_equal x) acc then go acc rest else go (x :: acc) rest
+  in
+  go [] sigma
+
+let dedup_cfds sigma =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if List.exists (Cfd.nf_equal x) acc then go acc rest else go (x :: acc) rest
+  in
+  go [] sigma

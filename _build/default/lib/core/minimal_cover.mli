@@ -1,0 +1,17 @@
+open Conddep_relational
+
+(** Minimal covers of constraint sets (the paper's Section 8 outlook):
+    greedy removal of constraints implied by the remainder, budgeted so the
+    undecidable/expensive implication tests degrade gracefully (a blown
+    budget keeps the constraint). *)
+
+val cind_cover : ?max_states:int -> Db_schema.t -> Cind.nf list -> Cind.nf list
+(** Equivalent subset of the given CINDs with implied members removed. *)
+
+val cfd_cover : ?max_nodes:int -> Db_schema.t -> Cfd.nf list -> Cfd.nf list
+(** Equivalent subset of the given CFDs with implied members removed. *)
+
+val dedup_cinds : Cind.nf list -> Cind.nf list
+(** Drop syntactic duplicates (canonical-form equality). *)
+
+val dedup_cfds : Cfd.nf list -> Cfd.nf list

@@ -1,0 +1,118 @@
+open Conddep_relational
+
+(* Propagation of conditional dependencies through projection views —
+   one of the paper's Section 8 outlook items ("propagation of CFDs and
+   CINDs through SQL views ... needed when deriving schema mappings from
+   the constraints [16]").
+
+   We support the projection fragment: a view V := π_L(R) keeps a subset L
+   of R's attributes.  A constraint propagates when every attribute it
+   mentions is kept:
+
+   - CIND (R1[X; Xp] ⊆ R2[Y; Yp], tp) propagates to
+     (V1[X; Xp] ⊆ V2[Y; Yp], tp) when X ∪ Xp ⊆ L1 and Y ∪ Yp ⊆ L2;
+   - CFD (R : X -> A, tp) propagates to (V : X -> A, tp) when
+     X ∪ {A} ⊆ L.
+
+   Soundness (property-tested): if the base database satisfies the
+   constraint, its materialized views satisfy the propagated one — every
+   view tuple has a base preimage agreeing on all kept attributes. *)
+
+type view = {
+  vname : string;
+  base : string;
+  keep : string list; (* attributes of the base relation, in view order *)
+}
+
+let make ~name ~base ~keep =
+  if keep = [] then invalid_arg "Views.make: empty projection";
+  if List.length (List.sort_uniq String.compare keep) <> List.length keep then
+    invalid_arg "Views.make: duplicate attributes";
+  { vname = name; base; keep }
+
+let validate schema v =
+  match Db_schema.find_opt schema v.base with
+  | None -> Error (Printf.sprintf "view %s: unknown base relation %s" v.vname v.base)
+  | Some r -> (
+      match List.find_opt (fun a -> not (Schema.mem_attr r a)) v.keep with
+      | Some a -> Error (Printf.sprintf "view %s: %s is not an attribute of %s" v.vname a v.base)
+      | None -> Ok ())
+
+(* The relation schema of a view (attribute domains inherited). *)
+let view_relation_schema schema v =
+  let r = Db_schema.find schema v.base in
+  Schema.make v.vname
+    (List.map (fun a -> Schema.attr r (Schema.position r a)) v.keep)
+
+(* Extend a database schema with view relations. *)
+let extend_schema schema views =
+  Db_schema.make
+    (Db_schema.relations schema @ List.map (view_relation_schema schema) views)
+
+(* Materialize the views over a base database (into the extended schema). *)
+let materialize schema views db =
+  let extended = extend_schema schema views in
+  let out =
+    List.fold_left
+      (fun out rel ->
+        Database.set_relation out (Database.relation db (Schema.name rel)))
+      (Database.empty extended)
+      (Db_schema.relations schema)
+  in
+  List.fold_left
+    (fun out v ->
+      let r = Db_schema.find schema v.base in
+      let positions = List.map (Schema.position r) v.keep in
+      Relation.fold
+        (fun t out ->
+          Database.add_tuple out v.vname (Tuple.make (Tuple.proj t positions)))
+        (Database.relation db v.base)
+        out)
+    out views
+
+let covers keep attrs = List.for_all (fun a -> List.mem a keep) attrs
+
+(* Propagate one CIND onto a pair of views. *)
+let propagate_cind v1 v2 (nf : Cind.nf) =
+  if
+    String.equal nf.Cind.nf_lhs v1.base
+    && String.equal nf.nf_rhs v2.base
+    && covers v1.keep (nf.nf_x @ List.map fst nf.nf_xp)
+    && covers v2.keep (nf.nf_y @ List.map fst nf.nf_yp)
+  then
+    Some
+      {
+        nf with
+        Cind.nf_name = Printf.sprintf "%s@%s_%s" nf.nf_name v1.vname v2.vname;
+        nf_lhs = v1.vname;
+        nf_rhs = v2.vname;
+      }
+  else None
+
+(* Propagate one CFD onto a view. *)
+let propagate_cfd v (nf : Cfd.nf) =
+  if String.equal nf.Cfd.nf_rel v.base && covers v.keep (nf.nf_a :: nf.nf_x) then
+    Some
+      {
+        nf with
+        Cfd.nf_name = Printf.sprintf "%s@%s" nf.nf_name v.vname;
+        nf_rel = v.vname;
+      }
+  else None
+
+(* Everything of Σ that propagates to the given views (CINDs are tried on
+   every ordered view pair, CFDs on every view). *)
+let propagate views (sigma : Sigma.nf) =
+  {
+    Sigma.ncfds =
+      List.concat_map
+        (fun v -> List.filter_map (propagate_cfd v) sigma.Sigma.ncfds)
+        views;
+    ncinds =
+      List.concat_map
+        (fun v1 ->
+          List.concat_map
+            (fun v2 -> List.filter_map (propagate_cind v1 v2) sigma.ncinds)
+            views)
+        views;
+  }

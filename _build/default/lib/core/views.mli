@@ -1,0 +1,37 @@
+open Conddep_relational
+
+(** Propagation of conditional dependencies through projection views — the
+    paper's Section 8 outlook item, in the projection fragment.
+
+    A constraint propagates to a view [V := π_L(R)] when every attribute it
+    mentions is kept by the projection; the propagated constraint holds on
+    the materialized views whenever the original holds on the base
+    (property-tested). *)
+
+type view = {
+  vname : string;
+  base : string;
+  keep : string list;
+}
+
+val make : name:string -> base:string -> keep:string list -> view
+(** @raise Invalid_argument on an empty or duplicated projection list. *)
+
+val validate : Db_schema.t -> view -> (unit, string) result
+
+val view_relation_schema : Db_schema.t -> view -> Schema.t
+(** The view's relation schema (domains inherited from the base). *)
+
+val extend_schema : Db_schema.t -> view list -> Db_schema.t
+(** Base schema plus one relation per view. *)
+
+val materialize : Db_schema.t -> view list -> Database.t -> Database.t
+(** The base database together with the projected view instances, over the
+    extended schema. *)
+
+val propagate_cind : view -> view -> Cind.nf -> Cind.nf option
+val propagate_cfd : view -> Cfd.nf -> Cfd.nf option
+
+val propagate : view list -> Sigma.nf -> Sigma.nf
+(** Everything of Σ that propagates to the views (CINDs over all ordered
+    view pairs). *)

@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Attribute Cfd Cind Conddep_core Conddep_relational Database Db_schema Domain Fmt Lexer List Pattern Printf Schema Sigma Tuple Value

@@ -1,0 +1,1 @@
+lib/dsl/parser.mli: Conddep_core Conddep_relational Database Db_schema Sigma Tuple

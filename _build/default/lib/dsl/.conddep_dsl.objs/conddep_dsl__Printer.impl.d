@@ -1,0 +1,1 @@
+lib/dsl/printer.ml: Attribute Cfd Cind Conddep_core Conddep_relational Db_schema Domain Fmt Parser Pattern Schema Sigma Tuple Value

@@ -1,0 +1,1 @@
+lib/dsl/printer.mli: Cfd Cind Conddep_core Conddep_relational Fmt Parser Schema Tuple

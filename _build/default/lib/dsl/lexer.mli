@@ -1,0 +1,40 @@
+(** Lexer for the constraint DSL.  Comments run from ['#'] or ["--"] to end
+    of line; string literals support backslash escapes for newline, tab and
+    the double quote. *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | KW_SCHEMA
+  | KW_CIND
+  | KW_CFD
+  | KW_INSTANCE
+  | KW_WITH
+  | KW_STRING
+  | KW_INT
+  | KW_BOOL
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | UNDERSCORE
+  | SUBSETEQ  (** [<=] *)
+  | ARROW  (** [->] *)
+  | BARBAR  (** [||] *)
+  | EOF
+
+type located = { token : token; line : int }
+
+val token_name : token -> string
+(** Human-readable token description for error messages. *)
+
+val tokenize : string -> (located list, string) result
+(** The token stream, always ending with {!EOF}; errors carry line numbers. *)

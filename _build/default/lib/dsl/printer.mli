@@ -1,0 +1,12 @@
+open Conddep_relational
+open Conddep_core
+
+(** Pretty-printer for the constraint DSL; {!Parser.parse} round-trips its
+    output (property-tested). *)
+
+val pp_schema : Schema.t Fmt.t
+val pp_cind : Cind.t Fmt.t
+val pp_cfd : Cfd.t Fmt.t
+val pp_instance : (string * Tuple.t list) Fmt.t
+val pp_document : Parser.document Fmt.t
+val document_to_string : Parser.document -> string

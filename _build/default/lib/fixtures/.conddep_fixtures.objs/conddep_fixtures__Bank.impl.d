@@ -1,0 +1,1 @@
+lib/fixtures/bank.ml: Attribute Cfd Cind Conddep_core Conddep_relational Database Db_schema Domain Inference List Pattern Printf Schema Sigma String Tuple Value

@@ -1,0 +1,321 @@
+open Conddep_relational
+open Conddep_core
+
+(* The paper's running example: the bank schemas of Examples 1.1/1.2, the
+   data of Fig 1, the CINDs ψ1–ψ6 of Fig 2 and the CFDs ϕ1–ϕ3 of Fig 4.
+   Used as oracle inputs throughout the test suite and the examples. *)
+
+let str s = Value.Str s
+let w = Pattern.Wildcard
+let c s = Pattern.Const (str s)
+
+let at_domain = Domain.finite [ str "saving"; str "checking" ]
+
+let account_attrs =
+  [
+    Attribute.make "an" Domain.string_inf;
+    Attribute.make "cn" Domain.string_inf;
+    Attribute.make "ca" Domain.string_inf;
+    Attribute.make "cp" Domain.string_inf;
+    Attribute.make "at" at_domain;
+  ]
+
+let target_attrs =
+  [
+    Attribute.make "an" Domain.string_inf;
+    Attribute.make "cn" Domain.string_inf;
+    Attribute.make "ca" Domain.string_inf;
+    Attribute.make "cp" Domain.string_inf;
+    Attribute.make "ab" Domain.string_inf;
+  ]
+
+let account_nyc = Schema.make "account_nyc" account_attrs
+let account_edi = Schema.make "account_edi" account_attrs
+let saving = Schema.make "saving" target_attrs
+let checking = Schema.make "checking" target_attrs
+
+let interest =
+  Schema.make "interest"
+    [
+      Attribute.make "ab" Domain.string_inf;
+      Attribute.make "ct" Domain.string_inf;
+      Attribute.make "at" at_domain;
+      Attribute.make "rt" Domain.string_inf;
+    ]
+
+let schema = Db_schema.make [ account_nyc; account_edi; saving; checking; interest ]
+
+(* --- Fig 1 data --------------------------------------------------------- *)
+
+let t1 = Tuple.make [ str "01"; str "J. Smith"; str "NYC, 19087"; str "212-5820844"; str "saving" ]
+let t2 = Tuple.make [ str "02"; str "G. King"; str "NYC, 19022"; str "212-3963455"; str "checking" ]
+let t3 = Tuple.make [ str "03"; str "J. Lee"; str "NYC, 02284"; str "212-5679844"; str "checking" ]
+let t4 = Tuple.make [ str "01"; str "S. Bundy"; str "EDI, EH8 9LE"; str "131-6516501"; str "saving" ]
+let t5 = Tuple.make [ str "02"; str "I. Stark"; str "EDI, EH1 4FE"; str "131-6693423"; str "checking" ]
+let t6 = Tuple.make [ str "01"; str "J. Smith"; str "NYC, 19087"; str "212-5820844"; str "NYC" ]
+let t7 = Tuple.make [ str "01"; str "S. Bundy"; str "EDI, EH8 9LE"; str "131-6516501"; str "EDI" ]
+let t8 = Tuple.make [ str "02"; str "G. King"; str "NYC, 19022"; str "212-3963455"; str "NYC" ]
+let t9 = Tuple.make [ str "03"; str "J. Lee"; str "NYC, 02284"; str "212-5679844"; str "NYC" ]
+let t10 = Tuple.make [ str "02"; str "I. Stark"; str "EDI, EH1 4FE"; str "131-6693423"; str "EDI" ]
+let t11 = Tuple.make [ str "EDI"; str "UK"; str "saving"; str "4.5%" ]
+
+(* t12 carries the erroneous UK checking rate 10.5% (should be 1.5%). *)
+let t12_dirty = Tuple.make [ str "EDI"; str "UK"; str "checking"; str "10.5%" ]
+let t12_clean = Tuple.make [ str "EDI"; str "UK"; str "checking"; str "1.5%" ]
+let t13 = Tuple.make [ str "NYC"; str "US"; str "saving"; str "4%" ]
+let t14 = Tuple.make [ str "NYC"; str "US"; str "checking"; str "1%" ]
+
+let database_with ~t12 =
+  Database.of_alist schema
+    [
+      ("account_nyc", [ t1; t2; t3 ]);
+      ("account_edi", [ t4; t5 ]);
+      ("saving", [ t6; t7 ]);
+      ("checking", [ t8; t9; t10 ]);
+      ("interest", [ t11; t12; t13; t14 ]);
+    ]
+
+let dirty_db = database_with ~t12:t12_dirty
+let clean_db = database_with ~t12:t12_clean
+
+(* --- Fig 2 CINDs -------------------------------------------------------- *)
+
+let xy = [ "an"; "cn"; "ca"; "cp" ]
+let wild4 = [ w; w; w; w ]
+
+(* ψ1/ψ2 per branch B: account_B(an,cn,ca,cp ; at='saving') ⊆
+   saving(an,cn,ca,cp ; ab='B'), and the checking analogue. *)
+let psi1 ~branch ~account =
+  Cind.make
+    ~name:(Printf.sprintf "psi1_%s" (String.lowercase_ascii branch))
+    ~lhs:account ~rhs:"saving" ~x:xy ~xp:[ "at" ] ~y:xy ~yp:[ "ab" ]
+    [ { Cind.cx = wild4; cxp = [ c "saving" ]; cy = wild4; cyp = [ c branch ] } ]
+
+let psi2 ~branch ~account =
+  Cind.make
+    ~name:(Printf.sprintf "psi2_%s" (String.lowercase_ascii branch))
+    ~lhs:account ~rhs:"checking" ~x:xy ~xp:[ "at" ] ~y:xy ~yp:[ "ab" ]
+    [ { Cind.cx = wild4; cxp = [ c "checking" ]; cy = wild4; cyp = [ c branch ] } ]
+
+let psi1_nyc = psi1 ~branch:"NYC" ~account:"account_nyc"
+let psi1_edi = psi1 ~branch:"EDI" ~account:"account_edi"
+let psi2_nyc = psi2 ~branch:"NYC" ~account:"account_nyc"
+let psi2_edi = psi2 ~branch:"EDI" ~account:"account_edi"
+
+let psi3 =
+  Cind.make ~name:"psi3" ~lhs:"saving" ~rhs:"interest" ~x:[ "ab" ] ~xp:[] ~y:[ "ab" ]
+    ~yp:[]
+    [ { Cind.cx = [ w ]; cxp = []; cy = [ w ]; cyp = [] } ]
+
+let psi4 =
+  Cind.make ~name:"psi4" ~lhs:"checking" ~rhs:"interest" ~x:[ "ab" ] ~xp:[] ~y:[ "ab" ]
+    ~yp:[]
+    [ { Cind.cx = [ w ]; cxp = []; cy = [ w ]; cyp = [] } ]
+
+let psi5 =
+  Cind.make ~name:"psi5" ~lhs:"saving" ~rhs:"interest" ~x:[] ~xp:[ "ab" ] ~y:[]
+    ~yp:[ "ab"; "at"; "ct"; "rt" ]
+    [
+      { Cind.cx = []; cxp = [ c "EDI" ]; cy = []; cyp = [ c "EDI"; c "saving"; c "UK"; c "4.5%" ] };
+      { Cind.cx = []; cxp = [ c "NYC" ]; cy = []; cyp = [ c "NYC"; c "saving"; c "US"; c "4%" ] };
+    ]
+
+let psi6 =
+  Cind.make ~name:"psi6" ~lhs:"checking" ~rhs:"interest" ~x:[] ~xp:[ "ab" ] ~y:[]
+    ~yp:[ "ab"; "at"; "ct"; "rt" ]
+    [
+      { Cind.cx = []; cxp = [ c "EDI" ]; cy = []; cyp = [ c "EDI"; c "checking"; c "UK"; c "1.5%" ] };
+      { Cind.cx = []; cxp = [ c "NYC" ]; cy = []; cyp = [ c "NYC"; c "checking"; c "US"; c "1%" ] };
+    ]
+
+let all_cinds =
+  [ psi1_nyc; psi1_edi; psi2_nyc; psi2_edi; psi3; psi4; psi5; psi6 ]
+
+(* --- Fig 4 CFDs --------------------------------------------------------- *)
+
+let phi1 =
+  Cfd.make ~name:"phi1" ~rel:"saving" ~x:[ "an"; "ab" ] ~y:[ "cn"; "ca"; "cp" ]
+    [ { Cfd.rx = [ w; w ]; ry = [ w; w; w ] } ]
+
+let phi2 =
+  Cfd.make ~name:"phi2" ~rel:"checking" ~x:[ "an"; "ab" ] ~y:[ "cn"; "ca"; "cp" ]
+    [ { Cfd.rx = [ w; w ]; ry = [ w; w; w ] } ]
+
+let phi3 =
+  Cfd.make ~name:"phi3" ~rel:"interest" ~x:[ "ct"; "at" ] ~y:[ "rt" ]
+    [
+      { Cfd.rx = [ w; w ]; ry = [ w ] };
+      { Cfd.rx = [ c "UK"; c "saving" ]; ry = [ c "4.5%" ] };
+      { Cfd.rx = [ c "UK"; c "checking" ]; ry = [ c "1.5%" ] };
+      { Cfd.rx = [ c "US"; c "saving" ]; ry = [ c "4%" ] };
+      { Cfd.rx = [ c "US"; c "checking" ]; ry = [ c "1%" ] };
+    ]
+
+let all_cfds = [ phi1; phi2; phi3 ]
+
+let sigma = Sigma.make ~cfds:all_cfds ~cinds:all_cinds ()
+
+(* --- Example 3.3 / 3.4: the implication goal ---------------------------- *)
+
+(* ψ = (account_B[at; nil] ⊆ interest[at; nil], ( || )) with B = EDI. *)
+let implication_goal =
+  {
+    Cind.nf_name = "psi_goal";
+    nf_lhs = "account_edi";
+    nf_rhs = "interest";
+    nf_x = [ "at" ];
+    nf_y = [ "at" ];
+    nf_xp = [];
+    nf_yp = [];
+  }
+
+let implication_sigma =
+  List.concat_map Cind.normalize [ psi1_edi; psi2_edi; psi5; psi6 ]
+
+(* The I-proof of Example 3.4 (adapted to B = EDI), checkable by
+   [Inference.proves]. *)
+let example_3_4_proof =
+  let nf_of cind ~row = List.nth (Cind.normalize cind) row in
+  [
+    Inference.Axiom (nf_of psi1_edi ~row:0); (* 0 *)
+    Inference.Infer (Inference.Proj_perm { prem = 0; indices = [] }); (* 1 *)
+    Inference.Axiom (nf_of psi5 ~row:0); (* 2: EDI row *)
+    Inference.Infer (Inference.Reduce { prem = 2; keep_yp = [ "at" ] }); (* 3 *)
+    Inference.Infer (Inference.Transitivity { first = 1; second = 3 }); (* 4 *)
+    Inference.Axiom (nf_of psi2_edi ~row:0); (* 5 *)
+    Inference.Infer (Inference.Proj_perm { prem = 5; indices = [] }); (* 6 *)
+    Inference.Axiom (nf_of psi6 ~row:0); (* 7: EDI row *)
+    Inference.Infer (Inference.Reduce { prem = 7; keep_yp = [ "at" ] }); (* 8 *)
+    Inference.Infer (Inference.Transitivity { first = 6; second = 8 }); (* 9 *)
+    Inference.Infer
+      (Inference.Finite_restore { prems = [ 4; 9 ]; attr_a = "at"; attr_b = "at" });
+    (* 10: CIND8 merges the saving and checking cases *)
+  ]
+
+(* --- Example 3.2: inconsistent CFDs over bool --------------------------- *)
+
+let ex32_schema =
+  Db_schema.make
+    [
+      Schema.make "r_bool"
+        [ Attribute.make "a" Domain.bool_dom; Attribute.make "b" Domain.string_inf ];
+    ]
+
+let ex32_cfds =
+  let cb v = Pattern.Const (Value.Bool v) in
+  [
+    Cfd.make ~name:"phi_t" ~rel:"r_bool" ~x:[ "a" ] ~y:[ "b" ]
+      [ { Cfd.rx = [ cb true ]; ry = [ c "b1" ] } ];
+    Cfd.make ~name:"phi_f" ~rel:"r_bool" ~x:[ "a" ] ~y:[ "b" ]
+      [ { Cfd.rx = [ cb false ]; ry = [ c "b2" ] } ];
+    Cfd.make ~name:"phi_b1" ~rel:"r_bool" ~x:[ "b" ] ~y:[ "a" ]
+      [ { Cfd.rx = [ c "b1" ]; ry = [ cb false ] } ];
+    Cfd.make ~name:"phi_b2" ~rel:"r_bool" ~x:[ "b" ] ~y:[ "a" ]
+      [ { Cfd.rx = [ c "b2" ]; ry = [ cb true ] } ];
+  ]
+
+(* --- Example 4.2: a CFD and a CIND that conflict ------------------------- *)
+
+let ex42_schema =
+  Db_schema.make
+    [
+      Schema.make "r_ab"
+        [ Attribute.make "a" Domain.string_inf; Attribute.make "b" Domain.string_inf ];
+    ]
+
+let ex42_cfd =
+  Cfd.make ~name:"phi" ~rel:"r_ab" ~x:[ "a" ] ~y:[ "b" ]
+    [ { Cfd.rx = [ w ]; ry = [ c "a" ] } ]
+
+let ex42_cind =
+  Cind.make ~name:"psi" ~lhs:"r_ab" ~rhs:"r_ab" ~x:[] ~xp:[ "b" ] ~y:[] ~yp:[ "b" ]
+    [ { Cind.cx = []; cxp = [ w ]; cy = []; cyp = [ c "b" ] } ]
+
+(* --- Example 5.1 / 5.4: the heuristic-algorithms schema ------------------ *)
+
+(* R1(E, F), R2(G, H), R3(A, B), R4(C, D), R5(I, J); Example 5.1 has all
+   domains infinite, Example 5.2/5.4 make H boolean-like finite {0, 1}. *)
+let ex5_schema ~finite_h =
+  let h_dom =
+    if finite_h then Domain.finite [ Value.Int 0; Value.Int 1 ] else Domain.string_inf
+  in
+  Db_schema.make
+    [
+      Schema.make "r1" [ Attribute.make "e" Domain.string_inf; Attribute.make "f" Domain.string_inf ];
+      Schema.make "r2" [ Attribute.make "g" Domain.string_inf; Attribute.make "h" h_dom ];
+      Schema.make "r3" [ Attribute.make "a" Domain.string_inf; Attribute.make "b" Domain.string_inf ];
+      Schema.make "r4" [ Attribute.make "cc" Domain.string_inf; Attribute.make "d" Domain.string_inf ];
+      Schema.make "r5" [ Attribute.make "i" Domain.string_inf; Attribute.make "j" Domain.string_inf ];
+    ]
+
+let ci v = Pattern.Const (Value.Int v)
+
+(* Σ of Example 5.1: φ1 = R1(E -> F, (_||_)), φ2 = R2(H -> G, (_||c)),
+   ψ1 = R1[E] ⊆ R2[G], ψ2 = (R2[nil;H] ⊆ R1[nil;F], (0||a)),
+   ψ3 = (R2[nil;H] ⊆ R1[nil;F], (1||b)). *)
+let ex51_phi1 =
+  Cfd.make ~name:"phi1" ~rel:"r1" ~x:[ "e" ] ~y:[ "f" ] [ { Cfd.rx = [ w ]; ry = [ w ] } ]
+
+let ex51_phi2 =
+  Cfd.make ~name:"phi2" ~rel:"r2" ~x:[ "h" ] ~y:[ "g" ] [ { Cfd.rx = [ w ]; ry = [ c "c" ] } ]
+
+let ex51_psi1 =
+  Cind.make ~name:"psi1" ~lhs:"r1" ~rhs:"r2" ~x:[ "e" ] ~xp:[] ~y:[ "g" ] ~yp:[]
+    [ { Cind.cx = [ w ]; cxp = []; cy = [ w ]; cyp = [] } ]
+
+let ex51_psi2 ~finite_h =
+  let h_pat = if finite_h then ci 0 else c "0" in
+  Cind.make ~name:"psi2" ~lhs:"r2" ~rhs:"r1" ~x:[] ~xp:[ "h" ] ~y:[] ~yp:[ "f" ]
+    [ { Cind.cx = []; cxp = [ h_pat ]; cy = []; cyp = [ c "a" ] } ]
+
+let ex51_psi3 ~finite_h =
+  let h_pat = if finite_h then ci 1 else c "1" in
+  Cind.make ~name:"psi3" ~lhs:"r2" ~rhs:"r1" ~x:[] ~xp:[ "h" ] ~y:[] ~yp:[ "f" ]
+    [ { Cind.cx = []; cxp = [ h_pat ]; cy = []; cyp = [ c "b" ] } ]
+
+let ex51_sigma ~finite_h =
+  Sigma.make
+    ~cfds:[ ex51_phi1; ex51_phi2 ]
+    ~cinds:[ ex51_psi1; ex51_psi2 ~finite_h; ex51_psi3 ~finite_h ]
+    ()
+
+(* Σ of Example 5.4 adds: φ3 = R3(A -> B, (c||_)), φ4/φ5 = R4(C -> D, (_||a)),
+   (_||b)) — inconsistent together — φ6 = R5(I -> J, (_||c)),
+   ψ4 = (R3[A; B] ⊆ R4[C; nil], (_;b||_)), ψ5 = (R5[nil;J] ⊆ R2[nil;G], (c||d)). *)
+let ex54_phi3 =
+  Cfd.make ~name:"phi3" ~rel:"r3" ~x:[ "a" ] ~y:[ "b" ] [ { Cfd.rx = [ c "c" ]; ry = [ w ] } ]
+
+let ex54_phi4 =
+  Cfd.make ~name:"phi4" ~rel:"r4" ~x:[ "cc" ] ~y:[ "d" ] [ { Cfd.rx = [ w ]; ry = [ c "a" ] } ]
+
+let ex54_phi5 =
+  Cfd.make ~name:"phi5" ~rel:"r4" ~x:[ "cc" ] ~y:[ "d" ] [ { Cfd.rx = [ w ]; ry = [ c "b" ] } ]
+
+let ex54_phi6 =
+  Cfd.make ~name:"phi6" ~rel:"r5" ~x:[ "i" ] ~y:[ "j" ] [ { Cfd.rx = [ w ]; ry = [ c "c" ] } ]
+
+let ex54_psi4 =
+  Cind.make ~name:"psi4" ~lhs:"r3" ~rhs:"r4" ~x:[ "a" ] ~xp:[ "b" ] ~y:[ "cc" ] ~yp:[]
+    [ { Cind.cx = [ w ]; cxp = [ c "b" ]; cy = [ w ]; cyp = [] } ]
+
+(* ψ'4 of Example 5.5: unconditional R3[A] ⊆ R4[C]. *)
+let ex55_psi4' =
+  Cind.make ~name:"psi4'" ~lhs:"r3" ~rhs:"r4" ~x:[ "a" ] ~xp:[] ~y:[ "cc" ] ~yp:[]
+    [ { Cind.cx = [ w ]; cxp = []; cy = [ w ]; cyp = [] } ]
+
+let ex54_psi5 =
+  Cind.make ~name:"psi5" ~lhs:"r5" ~rhs:"r2" ~x:[] ~xp:[ "j" ] ~y:[] ~yp:[ "g" ]
+    [ { Cind.cx = []; cxp = [ c "c" ]; cy = []; cyp = [ c "d" ] } ]
+
+let ex54_sigma ~finite_h ~use_psi4' =
+  Sigma.make
+    ~cfds:[ ex51_phi1; ex51_phi2; ex54_phi3; ex54_phi4; ex54_phi5; ex54_phi6 ]
+    ~cinds:
+      [
+        ex51_psi1;
+        ex51_psi2 ~finite_h;
+        ex51_psi3 ~finite_h;
+        (if use_psi4' then ex55_psi4' else ex54_psi4);
+        ex54_psi5;
+      ]
+    ()

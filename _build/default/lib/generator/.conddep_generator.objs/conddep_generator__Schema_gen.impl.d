@@ -1,0 +1,1 @@
+lib/generator/schema_gen.ml: Attribute Conddep_relational Db_schema Domain List Printf Rng Schema Value

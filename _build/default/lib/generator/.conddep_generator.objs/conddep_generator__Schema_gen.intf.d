@@ -1,0 +1,1 @@
+lib/generator/schema_gen.mli: Attribute Conddep_relational Db_schema Rng

@@ -1,0 +1,1 @@
+lib/generator/workload.ml: Attribute Cfd Cind Conddep_core Conddep_relational Database Db_schema Domain List Option Pattern Printf Rng Schema Sigma Tuple Value

@@ -1,0 +1,1 @@
+lib/generator/workload.mli: Attribute Cfd Cind Conddep_core Conddep_relational Database Db_schema Rng Sigma Value

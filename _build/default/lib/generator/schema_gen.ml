@@ -1,0 +1,57 @@
+open Conddep_relational
+
+(* Random schema generation following the experimental setting of
+   Section 6: up to 100 relations, at most 15 attributes each, a ratio F of
+   finite-domain attributes, and finite domains of 2–100 elements.
+
+   Attribute names are drawn from a global universe a0, a1, ... and carry
+   the same domain in every relation, so that corresponding CIND attributes
+   automatically satisfy dom(Ai) ⊆ dom(Bi); every relation holds a prefix
+   of the universe, which keeps relations join-compatible. *)
+
+type config = {
+  num_relations : int;
+  min_arity : int;
+  max_arity : int;
+  finite_ratio : float; (* F: fraction of finite-domain attributes *)
+  finite_dom_min : int;
+  finite_dom_max : int;
+}
+
+let default =
+  {
+    num_relations = 20;
+    min_arity = 3;
+    max_arity = 15;
+    finite_ratio = 0.25;
+    finite_dom_min = 2;
+    finite_dom_max = 100;
+  }
+
+(* The global attribute universe for a configuration. *)
+let universe rng config =
+  List.init config.max_arity (fun i ->
+      let name = Printf.sprintf "a%d" i in
+      let domain =
+        if Rng.chance rng config.finite_ratio then
+          let size =
+            config.finite_dom_min
+            + Rng.int rng (config.finite_dom_max - config.finite_dom_min + 1)
+          in
+          Domain.finite (List.init size (fun k -> Value.Str (Printf.sprintf "d%d_%d" i k)))
+        else Domain.string_inf
+      in
+      Attribute.make name domain)
+
+let generate rng config =
+  if config.min_arity < 1 || config.min_arity > config.max_arity then
+    invalid_arg "Schema_gen.generate: bad arity bounds";
+  let attrs = universe rng config in
+  let rels =
+    List.init config.num_relations (fun i ->
+        let arity =
+          config.min_arity + Rng.int rng (config.max_arity - config.min_arity + 1)
+        in
+        Schema.make (Printf.sprintf "r%d" i) (List.filteri (fun k _ -> k < arity) attrs))
+  in
+  Db_schema.make rels

@@ -1,0 +1,27 @@
+open Conddep_relational
+
+(** Random schema generation (experimental setting of Section 6).
+
+    Attribute names come from a global universe [a0, a1, ...] and carry the
+    same domain in every relation, so corresponding CIND attributes always
+    satisfy the paper's dom(Ai) ⊆ dom(Bi) assumption. *)
+
+type config = {
+  num_relations : int;
+  min_arity : int;
+  max_arity : int;
+  finite_ratio : float;  (** F — fraction of finite-domain attributes *)
+  finite_dom_min : int;
+  finite_dom_max : int;
+}
+
+val default : config
+(** The paper's setting: 20 relations, arity ≤ 15, F = 25%, finite domains
+    of 2–100 values. *)
+
+val universe : Rng.t -> config -> Attribute.t list
+(** The global attribute universe a configuration induces. *)
+
+val generate : Rng.t -> config -> Db_schema.t
+(** A random schema; each relation holds a prefix of the universe.
+    @raise Invalid_argument on inconsistent arity bounds. *)

@@ -1,0 +1,1 @@
+lib/matching/mapping.ml: Attribute Cind Conddep_core Conddep_relational Database Db_schema Domain List Printf Relation Schema String Tuple Value

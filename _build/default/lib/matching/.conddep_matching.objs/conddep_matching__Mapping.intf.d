@@ -1,0 +1,1 @@
+lib/matching/mapping.mli: Attribute Cind Conddep_core Conddep_relational Database Db_schema Tuple Value

@@ -1,0 +1,87 @@
+open Conddep_relational
+open Conddep_core
+
+(* Contextual schema matching (Example 1.1, after [7]): a CIND from a
+   source to a target schema doubles as an executable mapping.  For every
+   source tuple matching the Xp pattern, a target tuple is emitted carrying
+   the X values on Y, the Yp constants, and Skolem defaults elsewhere.
+   Executing all mappings yields the canonical target instance; by
+   construction it satisfies the driving CINDs, which [verify] checks. *)
+
+type field_default = Db_schema.t -> Attribute.t -> Tuple.t -> Value.t
+
+(* Default Skolemization: an unused field takes a fresh-ish value derived
+   from the attribute (or the first member of a finite domain). *)
+let skolem : field_default =
+ fun _schema attr _src ->
+  match Domain.values (Attribute.domain attr) with
+  | Some (v :: _) -> v
+  | _ -> Value.Str (Printf.sprintf "sk_%s" (Attribute.name attr))
+
+(* Target tuples one CIND emits for one source tuple (empty when the tuple
+   does not match the pattern). *)
+let migrate_tuple ?(default = skolem) schema (nf : Cind.nf) src =
+  let r1 = Db_schema.find schema nf.Cind.nf_lhs in
+  let r2 = Db_schema.find schema nf.nf_rhs in
+  let triggers =
+    List.for_all
+      (fun (a, v) -> Value.equal (Tuple.get src (Schema.position r1 a)) v)
+      nf.nf_xp
+  in
+  if not triggers then None
+  else
+    let fields =
+      List.map
+        (fun attr ->
+          let name = Attribute.name attr in
+          match List.assoc_opt name nf.nf_yp with
+          | Some v -> v
+          | None -> (
+              match
+                List.find_opt (fun (_, b) -> String.equal b name)
+                  (List.combine nf.nf_x nf.nf_y)
+              with
+              | Some (a, _) -> Tuple.get src (Schema.position r1 a)
+              | None -> default schema attr src))
+        (Schema.attrs r2)
+    in
+    Some (Tuple.make fields)
+
+(* Execute a set of CIND mappings over a database: add every required
+   target tuple.  Existing target tuples are kept (set semantics). *)
+let execute ?default schema cinds db =
+  List.fold_left
+    (fun db nf ->
+      let src_rel = Database.relation db nf.Cind.nf_lhs in
+      Relation.fold
+        (fun src db ->
+          match migrate_tuple ?default schema nf src with
+          | Some target -> Database.add_tuple db nf.nf_rhs target
+          | None -> db)
+        src_rel db)
+    db cinds
+
+(* After execution every driving CIND must hold. *)
+let verify db cinds = List.for_all (Cind.nf_holds db) cinds
+
+(* The coverage of a mapping: how many source tuples each CIND migrates —
+   useful when ranking candidate matches, as contextual schema-matching
+   systems do. *)
+let coverage schema cinds db =
+  List.map
+    (fun nf ->
+      let r1 = Db_schema.find schema nf.Cind.nf_lhs in
+      let matched =
+        Relation.fold
+          (fun src acc ->
+            let triggers =
+              List.for_all
+                (fun (a, v) -> Value.equal (Tuple.get src (Schema.position r1 a)) v)
+                nf.Cind.nf_xp
+            in
+            if triggers then acc + 1 else acc)
+          (Database.relation db nf.nf_lhs)
+          0
+      in
+      (nf.Cind.nf_name, matched))
+    cinds

@@ -1,0 +1,26 @@
+open Conddep_relational
+open Conddep_core
+
+(** Contextual schema matching (Example 1.1, after Bohannon et al. [7]):
+    CINDs from a source to a target schema double as executable mappings. *)
+
+type field_default = Db_schema.t -> Attribute.t -> Tuple.t -> Value.t
+(** Policy for target fields the CIND leaves unconstrained. *)
+
+val skolem : field_default
+(** Default policy: a value derived from the attribute (or the first member
+    of a finite domain). *)
+
+val migrate_tuple :
+  ?default:field_default -> Db_schema.t -> Cind.nf -> Tuple.t -> Tuple.t option
+(** The target tuple one CIND emits for one source tuple; [None] when the
+    tuple does not match the Xp pattern (contextual gating). *)
+
+val execute : ?default:field_default -> Db_schema.t -> Cind.nf list -> Database.t -> Database.t
+(** Execute a set of CIND mappings: add every required target tuple. *)
+
+val verify : Database.t -> Cind.nf list -> bool
+(** After execution every driving CIND must hold. *)
+
+val coverage : Db_schema.t -> Cind.nf list -> Database.t -> (string * int) list
+(** Source tuples each CIND migrates — for ranking candidate matches. *)

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Attribute List Pattern Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Pattern Relation Schema Tuple

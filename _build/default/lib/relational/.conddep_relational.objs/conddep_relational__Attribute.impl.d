@@ -1,0 +1,1 @@
+lib/relational/attribute.ml: Domain Fmt String

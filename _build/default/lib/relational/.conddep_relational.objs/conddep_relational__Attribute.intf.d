@@ -1,0 +1,1 @@
+lib/relational/attribute.mli: Domain Fmt

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Attribute Buffer Domain Fmt List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Db_schema Fmt List Map Printf Relation Schema String

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Db_schema Fmt Relation Tuple

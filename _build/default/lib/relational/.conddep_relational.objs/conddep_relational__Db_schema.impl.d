@@ -1,0 +1,1 @@
+lib/relational/db_schema.ml: Fmt Hashtbl List Option Printf Schema String

@@ -1,0 +1,1 @@
+lib/relational/db_schema.mli: Fmt Schema

@@ -1,0 +1,1 @@
+lib/relational/domain.ml: Fmt List Printf Value

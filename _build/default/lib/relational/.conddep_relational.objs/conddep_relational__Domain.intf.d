@@ -1,0 +1,1 @@
+lib/relational/domain.mli: Fmt Value

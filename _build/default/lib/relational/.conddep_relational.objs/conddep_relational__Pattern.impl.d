@@ -1,0 +1,1 @@
+lib/relational/pattern.ml: Fmt List Value

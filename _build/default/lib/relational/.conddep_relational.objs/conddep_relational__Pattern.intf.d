@@ -1,0 +1,1 @@
+lib/relational/pattern.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Fmt List Schema Set Tuple

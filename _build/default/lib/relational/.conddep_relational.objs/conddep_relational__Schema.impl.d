@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Attribute Fmt Hashtbl List Option Printf String

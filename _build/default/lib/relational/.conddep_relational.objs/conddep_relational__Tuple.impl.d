@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Attribute Domain Fmt Int List Schema Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Fmt Hashtbl Int Map Set String

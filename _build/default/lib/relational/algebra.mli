@@ -1,0 +1,34 @@
+(** A small relational-algebra evaluator over {!Relation} instances.
+
+    Violation detection for conditional dependencies can be phrased as
+    select/project/anti-join queries; the cleaning layer does exactly that,
+    mirroring the SQL-based detection technique of Bohannon et al. [9]. *)
+
+val select : (Tuple.t -> bool) -> Relation.t -> Relation.t
+
+val select_pattern :
+  Schema.t -> string list -> Pattern.cell list -> Relation.t -> Relation.t
+(** Tuples whose projection on the named attributes matches the pattern. *)
+
+val project : Relation.t -> string list -> Relation.t
+(** Duplicate-eliminating projection; the result schema is renamed. *)
+
+val rename : Relation.t -> string -> Relation.t
+
+val join : Relation.t -> Relation.t -> Relation.t
+(** Natural join on attributes the two schemas share by name. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+
+val difference : Relation.t -> Relation.t -> Relation.t
+(** @raise Invalid_argument on schema mismatch. *)
+
+val semi_join :
+  Relation.t -> lpos:int list -> Relation.t -> rpos:int list -> Relation.t
+(** Tuples of the left relation having a partner in the right relation that
+    agrees on the given position correspondence. *)
+
+val anti_join :
+  Relation.t -> lpos:int list -> Relation.t -> rpos:int list -> Relation.t
+(** Tuples of the left relation with no partner — the core of inclusion
+    violation detection. *)

@@ -1,0 +1,11 @@
+type t = { name : string; domain : Domain.t }
+
+let make name domain =
+  if name = "" then invalid_arg "Attribute.make: empty name";
+  { name; domain }
+
+let name t = t.name
+let domain t = t.domain
+let is_finite t = Domain.is_finite t.domain
+let equal a b = String.equal a.name b.name && Domain.equal a.domain b.domain
+let pp ppf t = Fmt.pf ppf "%s : %a" t.name Domain.pp t.domain

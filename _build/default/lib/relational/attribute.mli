@@ -1,0 +1,15 @@
+(** A named attribute with its domain. *)
+
+type t = { name : string; domain : Domain.t }
+
+val make : string -> Domain.t -> t
+(** @raise Invalid_argument on an empty name. *)
+
+val name : t -> string
+val domain : t -> Domain.t
+
+val is_finite : t -> bool
+(** Whether the attribute belongs to [finattr(R)]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

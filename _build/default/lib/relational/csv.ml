@@ -1,0 +1,107 @@
+(* Minimal CSV reader/writer used by the examples to ship datasets as plain
+   files.  Supports double-quoted fields with doubled-quote escapes. *)
+
+let split_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then finish i
+    else
+      match line.[i] with
+      | ',' ->
+          fields := Buffer.contents buf :: !fields;
+          Buffer.clear buf;
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv.split_line: unterminated quote"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  and finish _ =
+    fields := Buffer.contents buf :: !fields;
+    List.rev !fields
+  in
+  plain 0
+
+let coerce domain raw =
+  let v =
+    match domain with
+    | Domain.Infinite Domain.Dint | Domain.Finite (Value.Int _ :: _) -> (
+        match int_of_string_opt raw with Some i -> Value.Int i | None -> Value.Str raw)
+    | Domain.Infinite Domain.Dbool | Domain.Finite (Value.Bool _ :: _) -> (
+        match bool_of_string_opt raw with Some b -> Value.Bool b | None -> Value.Str raw)
+    | Domain.Infinite Domain.Dstring | Domain.Finite _ -> Value.Str raw
+  in
+  if Domain.mem domain v then Ok v
+  else Error (Fmt.str "value %S outside domain %a" raw Domain.pp domain)
+
+let parse_string schema contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let arity = Schema.arity schema in
+  let parse_line lineno line =
+    let fields = split_line line in
+    if List.length fields <> arity then
+      Error (Printf.sprintf "line %d: expected %d fields, got %d" lineno arity (List.length fields))
+    else
+      let rec coerce_all i acc = function
+        | [] -> Ok (Tuple.make (List.rev acc))
+        | raw :: rest -> (
+            match coerce (Attribute.domain (Schema.attr schema i)) raw with
+            | Ok v -> coerce_all (i + 1) (v :: acc) rest
+            | Error e -> Error (Printf.sprintf "line %d, field %d: %s" lineno (i + 1) e))
+      in
+      coerce_all 0 [] fields
+  in
+  let rec go lineno acc = function
+    | [] -> Ok (Relation.of_list schema (List.rev acc))
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok t -> go (lineno + 1) (t :: acc) rest
+        | Error e -> Error e)
+  in
+  go 1 [] lines
+
+let load schema path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse_string schema contents
+
+let field_to_string = function
+  | Value.Int i -> string_of_int i
+  | Value.Bool b -> string_of_bool b
+  | Value.Str s ->
+      if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+      else s
+
+let to_string rel =
+  let buf = Buffer.create 256 in
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat "," (List.map field_to_string (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let save rel path =
+  let oc = open_out path in
+  output_string oc (to_string rel);
+  close_out oc

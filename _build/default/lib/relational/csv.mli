@@ -1,0 +1,10 @@
+(** Minimal CSV import/export for relation instances.
+
+    Field values are coerced according to the schema's attribute domains;
+    lines starting with ['#'] and blank lines are skipped.  Double-quoted
+    fields support doubled-quote escapes. *)
+
+val parse_string : Schema.t -> string -> (Relation.t, string) result
+val load : Schema.t -> string -> (Relation.t, string) result
+val to_string : Relation.t -> string
+val save : Relation.t -> string -> unit

@@ -1,0 +1,33 @@
+(** Database instances over a database schema.
+
+    Every relation of the schema is always present (possibly empty); the
+    paper's notion of a "nonempty instance" is [not (is_empty db)]. *)
+
+type t
+
+val empty : Db_schema.t -> t
+
+val schema : t -> Db_schema.t
+
+val relation : t -> string -> Relation.t
+(** @raise Invalid_argument when the relation is absent from the schema. *)
+
+val set_relation : t -> Relation.t -> t
+(** Replace a whole relation instance.
+    @raise Invalid_argument when its schema is not part of the database. *)
+
+val add_tuple : t -> string -> Tuple.t -> t
+(** @raise Invalid_argument on unknown relation or ill-typed tuple. *)
+
+val of_alist : Db_schema.t -> (string * Tuple.t list) list -> t
+
+val fold : (Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Relation.t -> unit) -> t -> unit
+
+val total_tuples : t -> int
+
+val is_empty : t -> bool
+(** True when every relation is empty. *)
+
+val pp : t Fmt.t
+(** Prints the non-empty relations. *)

@@ -1,0 +1,32 @@
+(* A database schema R = (R1, ..., Rn). *)
+
+type t = { relations : Schema.t list }
+
+let make relations =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let n = Schema.name r in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Db_schema.make: duplicate relation %S" n);
+      Hashtbl.add seen n ())
+    relations;
+  { relations }
+
+let relations t = t.relations
+let rel_names t = List.map Schema.name t.relations
+
+let find_opt t name =
+  List.find_opt (fun r -> String.equal (Schema.name r) name) t.relations
+
+let find t name =
+  match find_opt t name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Db_schema.find: no relation %S" name)
+
+let mem t name = Option.is_some (find_opt t name)
+
+let has_finite_attrs t =
+  List.exists (fun r -> Schema.finite_attrs r <> []) t.relations
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" Fmt.(list Schema.pp) t.relations

@@ -1,0 +1,21 @@
+(** Database schemas: a collection of relation schemas with distinct names. *)
+
+type t
+
+val make : Schema.t list -> t
+(** @raise Invalid_argument on duplicate relation names. *)
+
+val relations : t -> Schema.t list
+val rel_names : t -> string list
+
+val find : t -> string -> Schema.t
+(** @raise Invalid_argument when the relation is absent. *)
+
+val find_opt : t -> string -> Schema.t option
+val mem : t -> string -> bool
+
+val has_finite_attrs : t -> bool
+(** Whether any relation has a finite-domain attribute — the setting that
+    separates Tables 1 and 2 of the paper. *)
+
+val pp : t Fmt.t

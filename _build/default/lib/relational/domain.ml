@@ -1,0 +1,89 @@
+(* Attribute domains.  The paper's static analyses hinge on whether an
+   attribute's domain is finite (finattr) or infinite, so the distinction is
+   first-class here. *)
+
+type base =
+  | Dint
+  | Dstring
+  | Dbool
+
+type t =
+  | Infinite of base
+  | Finite of Value.t list (* sorted, duplicate-free, nonempty *)
+
+let int_inf = Infinite Dint
+let string_inf = Infinite Dstring
+
+let finite values =
+  match List.sort_uniq Value.compare values with
+  | [] -> invalid_arg "Domain.finite: empty domain"
+  | vs -> Finite vs
+
+let bool_dom = finite [ Value.Bool false; Value.Bool true ]
+
+let is_finite = function Infinite _ -> false | Finite _ -> true
+
+let values = function Infinite _ -> None | Finite vs -> Some vs
+
+let cardinal = function Infinite _ -> None | Finite vs -> Some (List.length vs)
+
+let base_mem base (v : Value.t) =
+  match base, v with
+  | Dint, Value.Int _ -> true
+  | Dstring, Value.Str _ -> true
+  | Dbool, Value.Bool _ -> true
+  | (Dint | Dstring | Dbool), _ -> false
+
+let mem t v =
+  match t with
+  | Infinite base -> base_mem base v
+  | Finite vs -> List.exists (Value.equal v) vs
+
+(* [subset d1 d2] over-approximates dom(d1) ⊆ dom(d2); it is exact for the
+   domain shapes we construct.  The paper assumes dom(Ai) ⊆ dom(Bi) for the
+   corresponding attributes of a CIND, and validation enforces it. *)
+let subset d1 d2 =
+  match d1, d2 with
+  | Infinite b1, Infinite b2 -> b1 = b2
+  | Infinite _, Finite _ -> false
+  | Finite vs, _ -> List.for_all (mem d2) vs
+
+let fresh t ~avoid =
+  match t with
+  | Finite vs -> List.find_opt (fun v -> not (List.exists (Value.equal v) avoid)) vs
+  | Infinite Dbool -> (
+      match
+        List.find_opt
+          (fun v -> not (List.exists (Value.equal v) avoid))
+          [ Value.Bool false; Value.Bool true ]
+      with
+      | Some _ as r -> r
+      | None -> None)
+  | Infinite Dint ->
+      let max_avoided =
+        List.fold_left
+          (fun acc v -> match v with Value.Int i when i > acc -> i | _ -> acc)
+          (-1) avoid
+      in
+      Some (Value.Int (max_avoided + 1))
+  | Infinite Dstring ->
+      let rec go i =
+        let candidate = Value.Str (Printf.sprintf "#fresh%d" i) in
+        if List.exists (Value.equal candidate) avoid then go (i + 1) else Some candidate
+      in
+      go 0
+
+let pp_base ppf = function
+  | Dint -> Fmt.string ppf "int"
+  | Dstring -> Fmt.string ppf "string"
+  | Dbool -> Fmt.string ppf "bool"
+
+let pp ppf = function
+  | Infinite b -> pp_base ppf b
+  | Finite vs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma Value.pp) vs
+
+let equal d1 d2 =
+  match d1, d2 with
+  | Infinite b1, Infinite b2 -> b1 = b2
+  | Finite v1, Finite v2 -> List.equal Value.equal v1 v2
+  | Infinite _, Finite _ | Finite _, Infinite _ -> false

@@ -1,0 +1,55 @@
+(* A relation schema: a relation name plus an ordered list of attributes.
+   Attribute positions are the canonical way the rest of the library
+   addresses fields of a tuple. *)
+
+type t = { name : string; attrs : Attribute.t array }
+
+let make name attrs =
+  if name = "" then invalid_arg "Schema.make: empty relation name";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let n = Attribute.name a in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S in %s" n name);
+      Hashtbl.add seen n ())
+    attrs;
+  { name; attrs = Array.of_list attrs }
+
+let name t = t.name
+let arity t = Array.length t.attrs
+let attrs t = Array.to_list t.attrs
+
+let attr t i =
+  if i < 0 || i >= Array.length t.attrs then
+    invalid_arg (Printf.sprintf "Schema.attr: index %d out of range for %s" i t.name);
+  t.attrs.(i)
+
+let position_opt t attr_name =
+  let rec go i =
+    if i >= Array.length t.attrs then None
+    else if String.equal (Attribute.name t.attrs.(i)) attr_name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let position t attr_name =
+  match position_opt t attr_name with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Schema.position: no attribute %S in %s" attr_name t.name)
+
+let mem_attr t attr_name = Option.is_some (position_opt t attr_name)
+let domain_of t attr_name = Attribute.domain (attr t (position t attr_name))
+let attr_names t = Array.to_list (Array.map Attribute.name t.attrs)
+
+let finite_attrs t =
+  List.filter Attribute.is_finite (attrs t)
+
+let equal a b =
+  String.equal a.name b.name
+  && Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2 Attribute.equal a.attrs b.attrs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%s(%a)@]" t.name Fmt.(list ~sep:comma Attribute.pp) (attrs t)

@@ -1,0 +1,41 @@
+(* Tuples are value arrays aligned with the attribute positions of a
+   relation schema. *)
+
+type t = Value.t array
+
+let make values = Array.of_list values
+let of_array a = Array.copy a
+let to_list = Array.to_list
+let arity = Array.length
+let get (t : t) i = t.(i)
+
+let proj (t : t) positions = List.map (fun i -> t.(i)) positions
+
+let proj_names schema t names = proj t (List.map (Schema.position schema) names)
+
+let compare (a : t) (b : t) =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then Int.compare n m
+  else
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let well_typed schema (t : t) =
+  Array.length t = Schema.arity schema
+  && Array.for_all
+       (fun ok -> ok)
+       (Array.mapi (fun i v -> Domain.mem (Attribute.domain (Schema.attr schema i)) v) t)
+
+let set (t : t) i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let pp ppf (t : t) = Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma Value.pp) (to_list t)

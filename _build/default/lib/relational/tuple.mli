@@ -1,0 +1,27 @@
+(** Tuples: value sequences aligned with a schema's attribute positions. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val set : t -> int -> Value.t -> t
+(** Functional update: returns a fresh tuple. *)
+
+val proj : t -> int list -> Value.t list
+(** Projection onto a position list, in the order given (t[X] in the paper,
+    possibly with repeats). *)
+
+val proj_names : Schema.t -> t -> string list -> Value.t list
+(** Projection by attribute names resolved against a schema. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val well_typed : Schema.t -> t -> bool
+(** Arity matches and every field belongs to its attribute's domain. *)
+
+val pp : t Fmt.t

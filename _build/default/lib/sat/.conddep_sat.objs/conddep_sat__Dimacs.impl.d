@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Cnf Fmt List Printf String

@@ -1,0 +1,46 @@
+(* DIMACS CNF reader/printer, for interoperability and golden tests. *)
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec process = function
+    | [] ->
+        if !current <> [] then error "unterminated clause (missing trailing 0)"
+        else if !num_vars < 0 then error "missing problem line"
+        else Ok (Cnf.make ~num_vars:!num_vars (List.rev !clauses))
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then process rest
+        else if line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "p"; "cnf"; nv; _nc ] -> (
+              match int_of_string_opt nv with
+              | Some n when n >= 0 ->
+                  num_vars := n;
+                  process rest
+              | _ -> error "malformed problem line: %s" line)
+          | _ -> error "malformed problem line: %s" line
+        end
+        else
+          let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+          let rec consume = function
+            | [] -> Ok ()
+            | tok :: toks -> (
+                match int_of_string_opt tok with
+                | Some 0 ->
+                    clauses := List.rev !current :: !clauses;
+                    current := [];
+                    consume toks
+                | Some l ->
+                    current := l :: !current;
+                    consume toks
+                | None -> error "bad literal %S" tok)
+          in
+          match consume tokens with Ok () -> process rest | Error _ as e -> e)
+  in
+  try process lines with Invalid_argument msg -> Error msg
+
+let print cnf = Fmt.str "%a@." Cnf.pp cnf

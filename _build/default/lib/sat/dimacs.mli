@@ -1,0 +1,6 @@
+(** DIMACS CNF format support. *)
+
+val parse : string -> (Cnf.t, string) result
+(** Parse DIMACS text (comments and blank lines allowed). *)
+
+val print : Cnf.t -> string

@@ -1,0 +1,205 @@
+(* An iterative DPLL SAT solver with two-watched-literal unit propagation
+   and chronological backtracking.  It stands in for SAT4j in the paper's
+   SAT-based CFD_Checking: any complete solver preserves the algorithm's
+   accuracy; only absolute running times differ. *)
+
+type result =
+  | Sat of bool array (* indexed by variable, index 0 unused *)
+  | Unsat
+
+exception Found_unsat
+
+type state = {
+  num_vars : int;
+  clauses : int array array;
+  assign : int array; (* 0 unassigned, 1 true, -1 false *)
+  watch : int list array; (* clause indices watching a literal, keyed by lit index *)
+  trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  score : int array; (* static occurrence counts per variable *)
+  pos_occ : int array; (* positive-literal occurrences, for phase choice *)
+}
+
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let lit_value st l =
+  let v = st.assign.(abs l) in
+  if v = 0 then 0 else if (l > 0) = (v = 1) then 1 else -1
+
+let push_assign st l =
+  st.assign.(abs l) <- (if l > 0 then 1 else -1);
+  st.trail.(st.trail_len) <- l;
+  st.trail_len <- st.trail_len + 1
+
+let backtrack_to st len =
+  while st.trail_len > len do
+    st.trail_len <- st.trail_len - 1;
+    st.assign.(abs st.trail.(st.trail_len)) <- 0
+  done;
+  st.qhead <- min st.qhead len
+
+(* Unit propagation over the watched-literal lists.  Returns [false] on
+   conflict. *)
+let propagate st =
+  let ok = ref true in
+  while !ok && st.qhead < st.trail_len do
+    let l = st.trail.(st.qhead) in
+    st.qhead <- st.qhead + 1;
+    let falsified = -l in
+    let wl = lit_index falsified in
+    let pending = st.watch.(wl) in
+    st.watch.(wl) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest ->
+          let c = st.clauses.(ci) in
+          (* Keep the falsified literal at position 1. *)
+          if c.(0) = falsified then begin
+            c.(0) <- c.(1);
+            c.(1) <- falsified
+          end;
+          if lit_value st c.(0) = 1 then begin
+            st.watch.(wl) <- ci :: st.watch.(wl);
+            process rest
+          end
+          else begin
+            let len = Array.length c in
+            let rec find_watch k =
+              if k >= len then -1 else if lit_value st c.(k) <> -1 then k else find_watch (k + 1)
+            in
+            let k = find_watch 2 in
+            if k >= 0 then begin
+              c.(1) <- c.(k);
+              c.(k) <- falsified;
+              let wl' = lit_index c.(1) in
+              st.watch.(wl') <- ci :: st.watch.(wl');
+              process rest
+            end
+            else begin
+              st.watch.(wl) <- ci :: st.watch.(wl);
+              match lit_value st c.(0) with
+              | -1 ->
+                  ok := false;
+                  st.watch.(wl) <- List.rev_append rest st.watch.(wl)
+              | 0 ->
+                  push_assign st c.(0);
+                  process rest
+              | _ -> process rest
+            end
+          end
+    in
+    process pending
+  done;
+  !ok
+
+let pick_branch st =
+  let best = ref 0 and best_score = ref (-1) in
+  for v = 1 to st.num_vars do
+    if st.assign.(v) = 0 && st.score.(v) > !best_score then begin
+      best := v;
+      best_score := st.score.(v)
+    end
+  done;
+  if !best = 0 then None
+  else
+    let v = !best in
+    (* Branch first on the polarity occurring more often. *)
+    Some (if 2 * st.pos_occ.(v) >= st.score.(v) then v else -v)
+
+(* Remove duplicate literals; detect tautological clauses (contain l and -l). *)
+let simplify_clause clause =
+  let sorted = List.sort_uniq Int.compare clause in
+  if List.exists (fun l -> List.mem (-l) sorted) sorted then None else Some sorted
+
+let solve cnf =
+  let num_vars = Cnf.num_vars cnf in
+  let simplified = List.filter_map simplify_clause (Cnf.clauses cnf) in
+  if List.exists (fun c -> c = []) simplified then Unsat
+  else begin
+    let units = List.filter_map (function [ l ] -> Some l | _ -> None) simplified in
+    let long = List.filter (fun c -> List.length c >= 2) simplified in
+    let clauses = Array.of_list (List.map Array.of_list long) in
+    let st =
+      {
+        num_vars;
+        clauses;
+        assign = Array.make (num_vars + 1) 0;
+        watch = Array.make ((2 * num_vars) + 2) [];
+        trail = Array.make (num_vars + 1) 0;
+        trail_len = 0;
+        qhead = 0;
+        score = Array.make (num_vars + 1) 0;
+        pos_occ = Array.make (num_vars + 1) 0;
+      }
+    in
+    Array.iteri
+      (fun ci c ->
+        st.watch.(lit_index c.(0)) <- ci :: st.watch.(lit_index c.(0));
+        st.watch.(lit_index c.(1)) <- ci :: st.watch.(lit_index c.(1));
+        Array.iter
+          (fun l ->
+            st.score.(abs l) <- st.score.(abs l) + 1;
+            if l > 0 then st.pos_occ.(abs l) <- st.pos_occ.(abs l) + 1)
+          c)
+      clauses;
+    try
+      (* Assert top-level unit clauses. *)
+      List.iter
+        (fun l ->
+          match lit_value st l with
+          | -1 -> raise Found_unsat
+          | 0 -> push_assign st l
+          | _ -> ())
+        units;
+      (* Decision stack: (trail length before the decision, literal, flipped). *)
+      let dstack : (int * int * bool) Stack.t = Stack.create () in
+      let rec search () =
+        if propagate st then
+          match pick_branch st with
+          | None ->
+              let model = Array.make (num_vars + 1) false in
+              for v = 1 to num_vars do
+                model.(v) <- st.assign.(v) = 1
+              done;
+              Sat model
+          | Some l ->
+              Stack.push (st.trail_len, l, false) dstack;
+              push_assign st l;
+              search ()
+        else resolve_conflict ()
+      and resolve_conflict () =
+        if Stack.is_empty dstack then raise Found_unsat
+        else
+          let len, l, flipped = Stack.pop dstack in
+          backtrack_to st len;
+          if flipped then resolve_conflict ()
+          else begin
+            Stack.push (len, -l, true) dstack;
+            push_assign st (-l);
+            search ()
+          end
+      in
+      search ()
+    with Found_unsat -> Unsat
+  end
+
+let is_sat cnf = match solve cnf with Sat _ -> true | Unsat -> false
+
+(* Exhaustive reference solver for testing (exponential; small inputs only). *)
+let solve_brute cnf =
+  let n = Cnf.num_vars cnf in
+  if n > 24 then invalid_arg "Solver.solve_brute: too many variables";
+  let assignment = Array.make (n + 1) false in
+  let rec go v =
+    if v > n then if Cnf.eval assignment cnf then Some (Array.copy assignment) else None
+    else begin
+      assignment.(v) <- false;
+      match go (v + 1) with
+      | Some _ as r -> r
+      | None ->
+          assignment.(v) <- true;
+          go (v + 1)
+    end
+  in
+  match go 1 with Some m -> Sat m | None -> Unsat

@@ -1,0 +1,16 @@
+(** A complete DPLL SAT solver with watched-literal unit propagation.
+
+    Substitute for SAT4j [19] in the SAT-based consistency checking of
+    Section 5.2: the reduction only needs a complete propositional oracle. *)
+
+type result =
+  | Sat of bool array  (** model indexed by variable; index 0 is unused *)
+  | Unsat
+
+val solve : Cnf.t -> result
+
+val is_sat : Cnf.t -> bool
+
+val solve_brute : Cnf.t -> result
+(** Exhaustive reference implementation for differential testing.
+    @raise Invalid_argument beyond 24 variables. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Attribute Conddep_relational Db_schema Domain Filename List Pattern QCheck QCheck_alcotest Schema String Sys Tuple Value

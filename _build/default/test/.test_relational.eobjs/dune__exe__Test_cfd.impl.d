@@ -1,0 +1,1 @@
+test/test_cfd.ml: Alcotest Attribute Cfd Cfd_consistency Cfd_implication Conddep_core Conddep_fixtures Conddep_relational Database Db_schema Domain Fd Helpers List Minimal_cover Printf Schema Tuple

@@ -1,0 +1,1 @@
+test/test_cind.ml: Alcotest Attribute Cind Conddep_core Conddep_fixtures Conddep_relational Database Db_schema Domain Helpers Ind List Printf Relation Schema Tuple

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Cfd Cind Conddep_core Conddep_dsl Conddep_fixtures Conddep_relational Database Db_schema Helpers List Parser Printer Printf Sigma

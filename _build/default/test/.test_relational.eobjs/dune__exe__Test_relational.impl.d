@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Attribute Conddep_relational Csv Database Db_schema Domain Helpers List Pattern Printf Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Cnf Conddep_sat Dimacs Helpers List Printf QCheck Solver String

@@ -1,0 +1,48 @@
+open Conddep_relational
+
+(* Shared helpers for the test suites. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let str s = Value.Str s
+let int i = Value.Int i
+let tup l = Tuple.make l
+let stup l = Tuple.make (List.map str l)
+
+let wildcard = Pattern.Wildcard
+let const s = Pattern.Const (Value.Str s)
+
+(* Build a quick single-relation schema with all-string attributes. *)
+let string_schema rel attrs =
+  Db_schema.make
+    [ Schema.make rel (List.map (fun a -> Attribute.make a Domain.string_inf) attrs) ]
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* Locate a repository data file regardless of the runner's working
+   directory (dune runtest sandboxes vs direct execution). *)
+let data_file name =
+  let candidates =
+    [
+      Filename.concat "data" name;
+      Filename.concat (Filename.concat (Filename.concat ".." "..") "..") (Filename.concat "data" name);
+      Filename.concat
+        (Filename.concat (Filename.concat (Filename.concat ".." "..") "..") "..")
+        (Filename.concat "data" name);
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> Alcotest.failf "cannot locate data file %s from %s" name (Sys.getcwd ())
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,134 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_dsl
+open Helpers
+
+(* The constraint DSL: the shipped bank file, round-trips, and error
+   diagnostics. *)
+
+module B = Conddep_fixtures.Bank
+
+let bank_path () = data_file "bank.cind"
+
+let load_bank () =
+  match Parser.parse_file (bank_path ()) with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "bank.cind failed to parse: %s" msg
+
+let test_bank_parses () =
+  let doc = load_bank () in
+  check_int "five relations" 5 (List.length (Db_schema.relations doc.Parser.schema));
+  check_int "three CFDs" 3 (List.length doc.sigma.Sigma.cfds);
+  check_int "eight CINDs" 8 (List.length doc.sigma.Sigma.cinds);
+  check_int "five instances" 5 (List.length doc.instances)
+
+let test_bank_matches_fixtures () =
+  (* The DSL file and the programmatic fixtures describe the same Σ. *)
+  let doc = load_bank () in
+  let parsed_nf = Sigma.normalize doc.Parser.sigma in
+  let fixture_nf = Sigma.normalize B.sigma in
+  check_int "same CIND count"
+    (List.length fixture_nf.Sigma.ncinds)
+    (List.length parsed_nf.Sigma.ncinds);
+  List.iter
+    (fun nf ->
+      check_bool
+        (Printf.sprintf "fixture CIND %s parsed" nf.Cind.nf_name)
+        true
+        (List.exists
+           (fun nf' -> Cind.nf_equal (Cind.canon_nf nf) (Cind.canon_nf nf'))
+           parsed_nf.ncinds))
+    fixture_nf.ncinds
+
+let test_bank_database_behaviour () =
+  (* The declared instance reproduces Example 2.2 / 4.1: ψ6 and ϕ3 fail. *)
+  let doc = load_bank () in
+  let db = ok_or_fail (Parser.database doc) in
+  let by_name name l = List.find (fun (c : Cind.t) -> c.Cind.name = name) l in
+  check_bool "psi6 violated" false
+    (Cind.holds db (by_name "psi6" doc.sigma.Sigma.cinds));
+  check_bool "psi5 holds" true (Cind.holds db (by_name "psi5" doc.sigma.Sigma.cinds));
+  let phi3 = List.find (fun (c : Cfd.t) -> c.Cfd.name = "phi3") doc.sigma.Sigma.cfds in
+  check_bool "phi3 violated" false (Cfd.holds db phi3)
+
+let test_roundtrip () =
+  let doc = load_bank () in
+  let printed = Printer.document_to_string doc in
+  match Parser.parse printed with
+  | Error msg -> Alcotest.failf "printed document failed to reparse: %s" msg
+  | Ok doc' ->
+      check_int "same relation count"
+        (List.length (Db_schema.relations doc.Parser.schema))
+        (List.length (Db_schema.relations doc'.Parser.schema));
+      let nf = Sigma.normalize doc.sigma and nf' = Sigma.normalize doc'.sigma in
+      check_int "same CFD nf count" (List.length nf.Sigma.ncfds) (List.length nf'.Sigma.ncfds);
+      List.iter
+        (fun c ->
+          check_bool "cind preserved" true
+            (List.exists
+               (fun c' -> Cind.nf_equal (Cind.canon_nf c) (Cind.canon_nf c'))
+               nf'.ncinds))
+        nf.Sigma.ncinds;
+      let db = ok_or_fail (Parser.database doc) in
+      let db' = ok_or_fail (Parser.database doc') in
+      check_int "same data" (Database.total_tuples db) (Database.total_tuples db')
+
+let expect_parse_error name src =
+  match Parser.parse src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: malformed input accepted" name
+
+let test_errors () =
+  expect_parse_error "unknown relation in cind"
+    "schema r (a : string);\ncind c : r[a ; ] <= s[a ; ] with (_ ;  || _ ; );";
+  expect_parse_error "arity mismatch"
+    "schema r (a : string);\ncind c : r[a ; ] <= r[ ; ] with (_ ;  ||  ; );";
+  expect_parse_error "bad token" "schema r (a : string) @;";
+  expect_parse_error "missing semicolon" "schema r (a : string)";
+  expect_parse_error "unterminated string" "schema r (a : \"oops);";
+  expect_parse_error "empty finite domain" "schema r (a : {});";
+  expect_parse_error "instance of unknown relation"
+    "schema r (a : string);\ninstance s { (\"x\"); }";
+  expect_parse_error "constant outside domain"
+    "schema r (a : {\"u\"});\ncfd c : r(a -> a) with (\"z\" || _);"
+
+let test_ill_typed_instance_rejected () =
+  let doc =
+    ok_or_fail (Parser.parse "schema r (a : int);\ninstance r { (\"notanint\"); }")
+  in
+  match Parser.database doc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-typed instance accepted"
+
+let test_comments_and_whitespace () =
+  let src =
+    "# hash comment\n-- dash comment\nschema r (a : string); -- trailing\n"
+  in
+  let doc = ok_or_fail (Parser.parse src) in
+  check_int "one relation" 1 (List.length (Db_schema.relations doc.Parser.schema))
+
+let test_literals () =
+  let src = "schema r (a : int, b : bool, c : {1, 2, 3});\ninstance r { (7, true, 2); }" in
+  let doc = ok_or_fail (Parser.parse src) in
+  let db = ok_or_fail (Parser.database doc) in
+  check_int "tuple loaded" 1 (Database.total_tuples db)
+
+let () =
+  Alcotest.run "dsl"
+    [
+      ( "bank-file",
+        [
+          Alcotest.test_case "parses" `Quick test_bank_parses;
+          Alcotest.test_case "matches fixtures" `Quick test_bank_matches_fixtures;
+          Alcotest.test_case "instance behaviour" `Quick test_bank_database_behaviour;
+        ] );
+      ( "roundtrip",
+        [ Alcotest.test_case "print then parse" `Quick test_roundtrip ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed inputs" `Quick test_errors;
+          Alcotest.test_case "ill-typed instances" `Quick test_ill_typed_instance_rejected;
+          Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+          Alcotest.test_case "literal kinds" `Quick test_literals;
+        ] );
+    ]

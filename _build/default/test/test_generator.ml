@@ -1,0 +1,165 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_generator
+open Helpers
+
+(* The workload generator of Section 6: schema shape, constraint mix,
+   consistency guarantees, needle sets, determinism. *)
+
+let quick_schema =
+  {
+    Schema_gen.num_relations = 8;
+    min_arity = 3;
+    max_arity = 6;
+    finite_ratio = 0.5;
+    finite_dom_min = 2;
+    finite_dom_max = 5;
+  }
+
+let test_schema_shape () =
+  let schema = Schema_gen.generate (Rng.make 1) quick_schema in
+  check_int "relation count" 8 (List.length (Db_schema.relations schema));
+  List.iter
+    (fun rel ->
+      let arity = Schema.arity rel in
+      check_bool "arity within bounds" true (arity >= 3 && arity <= 6))
+    (Db_schema.relations schema)
+
+let test_schema_attribute_sharing () =
+  (* same-named attributes carry the same domain in every relation *)
+  let schema = Schema_gen.generate (Rng.make 2) quick_schema in
+  let all_attrs =
+    List.concat_map (fun rel -> Schema.attrs rel) (Db_schema.relations schema)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if String.equal (Attribute.name a) (Attribute.name b) then
+            check_bool "shared domain" true
+              (Domain.equal (Attribute.domain a) (Attribute.domain b)))
+        all_attrs)
+    all_attrs
+
+let test_finite_ratio_extremes () =
+  let all_finite =
+    Schema_gen.generate (Rng.make 3) { quick_schema with Schema_gen.finite_ratio = 1.0 }
+  in
+  List.iter
+    (fun rel ->
+      check_int "all attributes finite" (Schema.arity rel)
+        (List.length (Schema.finite_attrs rel)))
+    (Db_schema.relations all_finite);
+  let none_finite =
+    Schema_gen.generate (Rng.make 4) { quick_schema with Schema_gen.finite_ratio = 0.0 }
+  in
+  check_bool "no finite attributes" false (Db_schema.has_finite_attrs none_finite)
+
+let test_bad_arity_rejected () =
+  match
+    Schema_gen.generate (Rng.make 5) { quick_schema with Schema_gen.min_arity = 9 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "min_arity > max_arity accepted"
+
+let test_constraint_mix () =
+  let schema = Schema_gen.generate (Rng.make 6) quick_schema in
+  let sigma =
+    Workload.random (Rng.make 6)
+      { Workload.default with num_constraints = 400; cfd_fraction = 0.75 }
+      schema
+  in
+  let cfds = List.length sigma.Sigma.ncfds and cinds = List.length sigma.Sigma.ncinds in
+  check_int "total" 400 (cfds + cinds);
+  (* 75/25 split within generous tolerance *)
+  check_bool "cfd share around 75%" true (cfds > 240 && cfds < 360)
+
+let test_consistent_sets_validate_and_hold () =
+  let rng = Rng.make 7 in
+  let schema = Schema_gen.generate rng quick_schema in
+  let sigma = Workload.consistent rng { Workload.default with num_constraints = 60 } schema in
+  ok_or_fail (Sigma.validate schema (Sigma.of_nf sigma));
+  check_bool "hidden witness satisfies" true
+    (Sigma.nf_holds (Workload.witness_db schema) sigma)
+
+let test_determinism () =
+  let gen seed =
+    let rng = Rng.make seed in
+    let schema = Schema_gen.generate rng quick_schema in
+    Workload.random rng { Workload.default with num_constraints = 50 } schema
+  in
+  let a = gen 11 and b = gen 11 in
+  check_int "same cfd count" (List.length a.Sigma.ncfds) (List.length b.Sigma.ncfds);
+  List.iter2
+    (fun x y -> check_bool "identical CFDs" true (Cfd.nf_equal x y))
+    a.Sigma.ncfds b.Sigma.ncfds;
+  List.iter2
+    (fun x y -> check_bool "identical CINDs" true (Cind.nf_equal x y))
+    a.Sigma.ncinds b.Sigma.ncinds
+
+let test_needle_sets () =
+  let schema =
+    Schema_gen.generate (Rng.make 8)
+      { quick_schema with Schema_gen.finite_ratio = 1.0; finite_dom_max = 3 }
+  in
+  let sigma = Workload.needle_cfds (Rng.make 8) schema in
+  check_bool "nonempty" true (sigma.Sigma.ncfds <> []);
+  ok_or_fail (Sigma.validate schema (Sigma.of_nf sigma));
+  (* each relation's needle set is consistent (the secret assignment) *)
+  List.iter
+    (fun rel ->
+      let rel = Schema.name rel in
+      check_bool
+        (Printf.sprintf "needle set on %s consistent" rel)
+        true
+        (Cfd_consistency.consistent_rel schema ~rel sigma.Sigma.ncfds))
+    (Db_schema.relations schema)
+
+let test_dirty_database_is_well_typed () =
+  let schema = Schema_gen.generate (Rng.make 9) quick_schema in
+  let db = Workload.dirty_database (Rng.make 9) schema ~tuples_per_rel:10 ~error_rate:0.5 in
+  check_bool "nonempty" false (Database.is_empty db);
+  (* Database.add_tuple validates, so reaching here means all rows typed *)
+  check_bool "row count bounded" true (Database.total_tuples db <= 80)
+
+let test_rng_basics () =
+  let rng = Rng.make 1 in
+  for _ = 1 to 100 do
+    let v = Rng.int rng 10 in
+    check_bool "int in range" true (v >= 0 && v < 10)
+  done;
+  (match Rng.int rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Rng.int 0 accepted");
+  (match Rng.pick rng [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Rng.pick [] accepted");
+  let l = [ 1; 2; 3; 4; 5 ] in
+  check_bool "shuffle is a permutation" true
+    (List.sort compare (Rng.shuffle rng l) = l);
+  (* determinism *)
+  let a = Rng.make 99 and b = Rng.make 99 in
+  for _ = 1 to 20 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let () =
+  Alcotest.run "generator"
+    [
+      ( "schemas",
+        [
+          Alcotest.test_case "shape" `Quick test_schema_shape;
+          Alcotest.test_case "attribute sharing" `Quick test_schema_attribute_sharing;
+          Alcotest.test_case "finite ratio extremes" `Quick test_finite_ratio_extremes;
+          Alcotest.test_case "bad arity rejected" `Quick test_bad_arity_rejected;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "75/25 mix" `Quick test_constraint_mix;
+          Alcotest.test_case "consistent sets" `Quick test_consistent_sets_validate_and_hold;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "needle sets" `Quick test_needle_sets;
+          Alcotest.test_case "dirty databases" `Quick test_dirty_database_is_well_typed;
+        ] );
+      ("rng", [ Alcotest.test_case "basics" `Quick test_rng_basics ]);
+    ]

@@ -1,0 +1,210 @@
+open Conddep_relational
+open Helpers
+
+(* The relational substrate: values, domains, schemas, tuples, relations,
+   databases, patterns, algebra and CSV. *)
+
+let test_value_order () =
+  check_bool "int < str" true (Value.compare (int 5) (str "a") < 0);
+  check_bool "str < bool" true (Value.compare (str "z") (Value.Bool false) < 0);
+  check_bool "int order" true (Value.compare (int 1) (int 2) < 0);
+  check_bool "equal" true (Value.equal (str "x") (str "x"))
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "roundtrip %s" (Value.to_string v))
+        true
+        (Value.equal v (Value.of_string (Value.to_string v))))
+    [ int 42; int (-7); str "EDI"; str "4.5%"; Value.Bool true; Value.Bool false ]
+
+let test_domain_membership () =
+  check_bool "int in int_inf" true (Domain.mem Domain.int_inf (int 3));
+  check_bool "str not in int_inf" false (Domain.mem Domain.int_inf (str "3"));
+  let fin = Domain.finite [ str "a"; str "b" ] in
+  check_bool "member" true (Domain.mem fin (str "a"));
+  check_bool "non-member" false (Domain.mem fin (str "c"));
+  check_bool "finite" true (Domain.is_finite fin);
+  check_bool "infinite" false (Domain.is_finite Domain.string_inf)
+
+let test_domain_subset () =
+  let small = Domain.finite [ str "a" ] in
+  let big = Domain.finite [ str "a"; str "b" ] in
+  check_bool "finite subset" true (Domain.subset small big);
+  check_bool "not superset" false (Domain.subset big small);
+  check_bool "finite within infinite" true (Domain.subset small Domain.string_inf);
+  check_bool "infinite not within finite" false (Domain.subset Domain.string_inf big);
+  check_bool "same base" true (Domain.subset Domain.int_inf Domain.int_inf);
+  check_bool "different base" false (Domain.subset Domain.int_inf Domain.string_inf)
+
+let test_domain_fresh () =
+  let avoid = [ str "#fresh0"; str "#fresh1" ] in
+  (match Domain.fresh Domain.string_inf ~avoid with
+  | Some v -> check_bool "fresh avoids" false (List.exists (Value.equal v) avoid)
+  | None -> Alcotest.fail "infinite domain must always have a fresh value");
+  let fin = Domain.finite [ str "a"; str "b" ] in
+  check_bool "finite exhausted" true (Domain.fresh fin ~avoid:[ str "a"; str "b" ] = None);
+  check_bool "finite fresh" true (Domain.fresh fin ~avoid:[ str "a" ] = Some (str "b"))
+
+let test_domain_rejects_empty () =
+  match Domain.finite [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty finite domain accepted"
+
+let test_schema_positions () =
+  let s =
+    Schema.make "r"
+      [ Attribute.make "a" Domain.string_inf; Attribute.make "b" Domain.int_inf ]
+  in
+  check_int "position a" 0 (Schema.position s "a");
+  check_int "position b" 1 (Schema.position s "b");
+  check_bool "missing" true (Schema.position_opt s "c" = None);
+  check_int "arity" 2 (Schema.arity s)
+
+let test_schema_rejects_duplicates () =
+  match
+    Schema.make "r" [ Attribute.make "a" Domain.string_inf; Attribute.make "a" Domain.int_inf ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate attributes accepted"
+
+let test_db_schema_rejects_duplicates () =
+  let r = Schema.make "r" [ Attribute.make "a" Domain.string_inf ] in
+  match Db_schema.make [ r; r ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate relations accepted"
+
+let test_tuple_projection () =
+  let t = stup [ "x"; "y"; "z" ] in
+  check_bool "proj [2;0]" true (Tuple.proj t [ 2; 0 ] = [ str "z"; str "x" ]);
+  check_bool "proj with repeats" true (Tuple.proj t [ 1; 1 ] = [ str "y"; str "y" ])
+
+let test_tuple_typing () =
+  let s =
+    Schema.make "r"
+      [
+        Attribute.make "a" Domain.string_inf;
+        Attribute.make "b" (Domain.finite [ int 0; int 1 ]);
+      ]
+  in
+  check_bool "well typed" true (Tuple.well_typed s (tup [ str "x"; int 1 ]));
+  check_bool "outside finite domain" false (Tuple.well_typed s (tup [ str "x"; int 9 ]));
+  check_bool "wrong arity" false (Tuple.well_typed s (tup [ str "x" ]))
+
+let test_relation_set_semantics () =
+  let s = Schema.make "r" [ Attribute.make "a" Domain.string_inf ] in
+  let rel = Relation.of_list s [ stup [ "x" ]; stup [ "x" ]; stup [ "y" ] ] in
+  check_int "dedup" 2 (Relation.cardinal rel);
+  check_bool "mem" true (Relation.mem rel (stup [ "x" ]))
+
+let test_relation_rejects_ill_typed () =
+  let s = Schema.make "r" [ Attribute.make "a" Domain.int_inf ] in
+  match Relation.add (Relation.empty s) (stup [ "x" ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ill-typed tuple accepted"
+
+let test_database_basics () =
+  let schema = string_schema "r" [ "a"; "b" ] in
+  let db = Database.empty schema in
+  check_bool "empty" true (Database.is_empty db);
+  let db = Database.add_tuple db "r" (stup [ "1"; "2" ]) in
+  check_bool "nonempty" false (Database.is_empty db);
+  check_int "count" 1 (Database.total_tuples db);
+  match Database.relation db "missing" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown relation accepted"
+
+let test_pattern_match_order () =
+  (* the ≍ examples of Section 2 *)
+  let edi_uk v = [ str "EDI"; str "UK"; v ] in
+  check_bool "(EDI,UK,1.5%) matches (EDI,UK,_)" true
+    (Pattern.matches (edi_uk (str "1.5%")) [ const "EDI"; const "UK"; wildcard ]);
+  check_bool "(EDI,UK,4.5%) does not match (EDI,UK,10.5%)" false
+    (Pattern.matches (edi_uk (str "4.5%")) [ const "EDI"; const "UK"; const "10.5%" ])
+
+let test_algebra_select_project () =
+  let schema = string_schema "r" [ "a"; "b" ] in
+  let s = Db_schema.find schema "r" in
+  let rel = Relation.of_list s [ stup [ "x"; "1" ]; stup [ "y"; "2" ]; stup [ "x"; "3" ] ] in
+  let selected = Algebra.select_pattern s [ "a" ] [ const "x" ] rel in
+  check_int "select" 2 (Relation.cardinal selected);
+  let projected = Algebra.project selected [ "a" ] in
+  check_int "project dedups" 1 (Relation.cardinal projected)
+
+let test_algebra_joins () =
+  let s1 = Schema.make "l" [ Attribute.make "k" Domain.string_inf; Attribute.make "v" Domain.string_inf ] in
+  let s2 = Schema.make "r" [ Attribute.make "k" Domain.string_inf; Attribute.make "w" Domain.string_inf ] in
+  let left = Relation.of_list s1 [ stup [ "a"; "1" ]; stup [ "b"; "2" ] ] in
+  let right = Relation.of_list s2 [ stup [ "a"; "x" ] ] in
+  check_int "natural join" 1 (Relation.cardinal (Algebra.join left right));
+  check_int "semi join" 1
+    (Relation.cardinal (Algebra.semi_join left ~lpos:[ 0 ] right ~rpos:[ 0 ]));
+  check_int "anti join" 1
+    (Relation.cardinal (Algebra.anti_join left ~lpos:[ 0 ] right ~rpos:[ 0 ]))
+
+let test_csv_roundtrip () =
+  let schema = string_schema "r" [ "a"; "b" ] in
+  let s = Db_schema.find schema "r" in
+  let rel =
+    Relation.of_list s [ stup [ "hello"; "with, comma" ]; stup [ "quote\"d"; "y" ] ]
+  in
+  let rel' = ok_or_fail (Csv.parse_string s (Csv.to_string rel)) in
+  check_int "same cardinality" (Relation.cardinal rel) (Relation.cardinal rel');
+  List.iter
+    (fun t -> check_bool "tuple preserved" true (Relation.mem rel' t))
+    (Relation.tuples rel)
+
+let test_csv_coercion_and_errors () =
+  let s =
+    Schema.make "r" [ Attribute.make "n" Domain.int_inf; Attribute.make "b" Domain.bool_dom ]
+  in
+  let rel = ok_or_fail (Csv.parse_string s "42,true\n7,false\n# comment\n") in
+  check_int "two rows" 2 (Relation.cardinal rel);
+  check_bool "typed as int" true (Relation.mem rel (tup [ int 42; Value.Bool true ]));
+  (match Csv.parse_string s "notanint,true" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad int accepted");
+  match Csv.parse_string s "1,true,extra" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad arity accepted"
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "values-domains",
+        [
+          Alcotest.test_case "value order" `Quick test_value_order;
+          Alcotest.test_case "value string roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "domain membership" `Quick test_domain_membership;
+          Alcotest.test_case "domain subset" `Quick test_domain_subset;
+          Alcotest.test_case "fresh values" `Quick test_domain_fresh;
+          Alcotest.test_case "empty finite domain rejected" `Quick
+            test_domain_rejects_empty;
+        ] );
+      ( "schemas-tuples",
+        [
+          Alcotest.test_case "schema positions" `Quick test_schema_positions;
+          Alcotest.test_case "duplicate attrs rejected" `Quick
+            test_schema_rejects_duplicates;
+          Alcotest.test_case "duplicate relations rejected" `Quick
+            test_db_schema_rejects_duplicates;
+          Alcotest.test_case "tuple projection" `Quick test_tuple_projection;
+          Alcotest.test_case "tuple typing" `Quick test_tuple_typing;
+        ] );
+      ( "relations-databases",
+        [
+          Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
+          Alcotest.test_case "ill-typed rejected" `Quick test_relation_rejects_ill_typed;
+          Alcotest.test_case "database basics" `Quick test_database_basics;
+        ] );
+      ( "patterns-algebra-csv",
+        [
+          Alcotest.test_case "match order (Section 2)" `Quick test_pattern_match_order;
+          Alcotest.test_case "select and project" `Quick test_algebra_select_project;
+          Alcotest.test_case "joins" `Quick test_algebra_joins;
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "csv coercion and errors" `Quick
+            test_csv_coercion_and_errors;
+        ] );
+    ]

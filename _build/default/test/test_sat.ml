@@ -1,0 +1,119 @@
+open Conddep_sat
+open Helpers
+
+(* The DPLL solver: hand-written cases, DIMACS round-trips, and a
+   differential property test against the brute-force reference. *)
+
+let solve_is_sat cnf = match Solver.solve cnf with Solver.Sat _ -> true | Solver.Unsat -> false
+
+let test_trivial () =
+  check_bool "empty formula" true (solve_is_sat (Cnf.make ~num_vars:0 []));
+  check_bool "empty clause" false (solve_is_sat (Cnf.make ~num_vars:1 [ [] ]));
+  check_bool "unit" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1 ] ]));
+  check_bool "contradictory units" false
+    (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ]))
+
+let test_model_is_valid () =
+  let cnf = Cnf.make ~num_vars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ 2; 3 ] ] in
+  match Solver.solve cnf with
+  | Solver.Unsat -> Alcotest.fail "expected SAT"
+  | Solver.Sat model -> check_bool "model satisfies" true (Cnf.eval model cnf)
+
+let test_propagation_chain () =
+  (* 1 forced, then 2, then 3; finally clause demands -3: UNSAT *)
+  let cnf = Cnf.make ~num_vars:3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3 ] ] in
+  check_bool "chain unsat" false (solve_is_sat cnf)
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: variables p_ij = pigeon i in hole j. *)
+  let v i j = (2 * i) + j + 1 in
+  let clauses =
+    List.concat_map (fun i -> [ [ v i 0; v i 1 ] ]) [ 0; 1; 2 ]
+    @ List.concat_map
+        (fun j ->
+          [ [ -v 0 j; -v 1 j ]; [ -v 0 j; -v 2 j ]; [ -v 1 j; -v 2 j ] ])
+        [ 0; 1 ]
+  in
+  check_bool "PHP(3,2) unsat" false (solve_is_sat (Cnf.make ~num_vars:6 clauses))
+
+let test_duplicate_and_tautological_literals () =
+  check_bool "duplicate literals" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1; 1 ] ]));
+  check_bool "tautology" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1; -1 ]; [ -1 ] ]))
+
+let test_dimacs_roundtrip () =
+  let cnf = Cnf.make ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ]; [ -3 ] ] in
+  let parsed = ok_or_fail (Dimacs.parse (Dimacs.print cnf)) in
+  check_int "vars" (Cnf.num_vars cnf) (Cnf.num_vars parsed);
+  check_int "clauses" (Cnf.num_clauses cnf) (Cnf.num_clauses parsed);
+  check_bool "same satisfiability" (solve_is_sat cnf) (solve_is_sat parsed)
+
+let test_dimacs_errors () =
+  List.iter
+    (fun src ->
+      match Dimacs.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed DIMACS: %s" src)
+    [ "1 2 0"; "p cnf x 2"; "p cnf 2 1\n1 2"; "p cnf 1 1\n2 0" ]
+
+let test_rejects_bad_literals () =
+  (match Cnf.make ~num_vars:2 [ [ 0 ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "literal 0 accepted");
+  match Cnf.make ~num_vars:2 [ [ 3 ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range literal accepted"
+
+(* Differential testing against brute force on random small formulas. *)
+let random_cnf_gen =
+  QCheck.Gen.(
+    let clause num_vars =
+      list_size (int_range 1 4)
+        (map2 (fun v sign -> if sign then v else -v) (int_range 1 num_vars) bool)
+    in
+    int_range 1 8 >>= fun num_vars ->
+    list_size (int_range 0 20) (clause num_vars) >>= fun clauses ->
+    return (num_vars, clauses))
+
+let random_cnf =
+  QCheck.make
+    ~print:(fun (n, cs) ->
+      Printf.sprintf "vars=%d clauses=%s" n
+        (String.concat "; " (List.map (fun c -> String.concat " " (List.map string_of_int c)) cs)))
+    random_cnf_gen
+
+let prop_matches_brute_force (num_vars, clauses) =
+  let cnf = Cnf.make ~num_vars clauses in
+  let dpll = solve_is_sat cnf in
+  let brute = match Solver.solve_brute cnf with Solver.Sat _ -> true | Solver.Unsat -> false in
+  dpll = brute
+
+let prop_sat_models_check (num_vars, clauses) =
+  let cnf = Cnf.make ~num_vars clauses in
+  match Solver.solve cnf with Solver.Sat model -> Cnf.eval model cnf | Solver.Unsat -> true
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "trivial formulas" `Quick test_trivial;
+          Alcotest.test_case "models are valid" `Quick test_model_is_valid;
+          Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+          Alcotest.test_case "pigeonhole 3-2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "duplicate/tautological literals" `Quick
+            test_duplicate_and_tautological_literals;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_dimacs_errors;
+          Alcotest.test_case "bad literals rejected" `Quick test_rejects_bad_literals;
+        ] );
+      ( "properties",
+        [
+          qtest ~count:500 "DPLL agrees with brute force" random_cnf
+            prop_matches_brute_force;
+          qtest ~count:500 "returned models satisfy the formula" random_cnf
+            prop_sat_models_check;
+        ] );
+    ]
