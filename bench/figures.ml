@@ -25,6 +25,7 @@ let fig10a scale =
   let reps = 3 in
   List.iter
     (fun per_rel ->
+      with_series_metrics (Printf.sprintf "fig10a/cfds=%d" per_rel) @@ fun () ->
       let rng = Rng.make (1000 + per_rel) in
       let total = per_rel * sconfig.Schema_gen.num_relations in
       let sigma =
@@ -71,6 +72,7 @@ let fig10b scale =
   in
   List.iter
     (fun k_cfd ->
+      with_series_metrics (Printf.sprintf "fig10b/kcfd=%d" k_cfd) @@ fun () ->
       let hits =
         List.length
           (List.filter
@@ -108,13 +110,14 @@ let run_algorithms ~consistent ~scale ~num_constraints seed =
   in
   (random_result, random_s, checking_result, checking_s)
 
-let fig11_sweep ~consistent ~title scale =
+let fig11_sweep ~consistent ~title ~series scale =
   header title;
   row "%-14s %-18s %-18s %-14s %-14s@." "constraints" "random_acc(%)" "checking_acc(%)"
     "random(s)" "checking(s)";
   let trials = Workloads.trials scale in
   List.iter
     (fun n ->
+      with_series_metrics (Printf.sprintf "%s/constraints=%d" series n) @@ fun () ->
       let results =
         List.init trials (fun i ->
             run_algorithms ~consistent ~scale ~num_constraints:n (n + (31 * i)))
@@ -137,12 +140,12 @@ let fig11a scale =
     ~title:
       "Fig 11(a)+11(b): accuracy and runtime on CONSISTENT CFD+CIND sets \
        (RandomChecking vs Checking)"
-    scale
+    ~series:"fig11a" scale
 
 let fig11c scale =
   fig11_sweep ~consistent:false
     ~title:"Fig 11(c): runtime on RANDOM CFD+CIND sets (RandomChecking vs Checking)"
-    scale
+    ~series:"fig11c" scale
 
 (* --- Fig 11(d): scaling the number of relations --------------------------- *)
 
@@ -153,6 +156,7 @@ let fig11d scale =
   row "%-12s %-14s %-14s %-14s@." "relations" "constraints" "random(s)" "checking(s)";
   List.iter
     (fun nrels ->
+      with_series_metrics (Printf.sprintf "fig11d/relations=%d" nrels) @@ fun () ->
       let sconfig = Workloads.schema_config ~num_relations:nrels scale in
       let sconfig = { sconfig with Schema_gen.num_relations = nrels } in
       let n = ratio * nrels in
@@ -191,6 +195,7 @@ let detection scale =
   in
   List.iter
     (fun n ->
+      with_series_metrics (Printf.sprintf "detection/tuples=%d" n) @@ fun () ->
       let db = Workload.dirty_database (Rng.make n) schema ~tuples_per_rel:n ~error_rate:0.1 in
       let naive, naive_s = time (fun () -> Conddep_cleaning.Detect.detect db sigma) in
       let fast, fast_s = time (fun () -> Conddep_cleaning.Fast_detect.detect db sigma) in
@@ -208,6 +213,7 @@ let ablation_pool_size scale =
   let n_constraints = List.hd (List.rev (Workloads.fig11_num_constraints scale)) in
   List.iter
     (fun pool_size ->
+      with_series_metrics (Printf.sprintf "ablation-n/N=%d" pool_size) @@ fun () ->
       let config = { Conddep_chase.Chase.default_config with pool_size } in
       let results =
         List.init trials (fun i ->
@@ -235,6 +241,7 @@ let ablation_backend scale =
   let n_constraints = List.hd (List.rev (Workloads.fig11_num_constraints scale)) in
   List.iter
     (fun (name, backend) ->
+      with_series_metrics (Printf.sprintf "ablation-backend/%s" name) @@ fun () ->
       let results =
         List.init trials (fun i ->
             let seed = 11000 + (13 * i) in

@@ -44,6 +44,8 @@ let () =
   in
   Fmt.pr "conddep benchmark harness — %s mode@."
     (if full then "FULL (paper-scale)" else "QUICK (use --full for paper-scale)");
+  (* count events alongside wall-clock: every series prints a counter diff *)
+  Telemetry.enable ();
   let start = Unix.gettimeofday () in
   List.iter (fun (_, f) -> f scale) selected;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. start)

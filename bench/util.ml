@@ -25,3 +25,21 @@ let row fmt = Fmt.pr fmt
 
 let percentage hits total =
   if total = 0 then 100. else 100. *. float_of_int hits /. float_of_int total
+
+(* Per-series counter snapshots: run [f], then print the counters that moved
+   while it ran as one JSON line (telemetry is enabled by the harness), so a
+   perf PR can diff event counts, not just wall-clock.  [label] names the
+   series point, e.g. "fig10a/cfds=4". *)
+let counter_diff before after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+      if v > v0 then Some (name, v - v0) else None)
+    after
+
+let with_series_metrics label f =
+  let before = Telemetry.counter_snapshot () in
+  let r = f () in
+  let diff = counter_diff before (Telemetry.counter_snapshot ()) in
+  Fmt.pr "  metrics %s@." (Telemetry.json_of_counters ~label:("series", label) diff);
+  r

@@ -3,22 +3,53 @@
 
      cindtool parse data/bank.cind
      cindtool normalize data/bank.cind
-     cindtool check data/bank.cind
+     cindtool check-consistency data/bank.cind
      cindtool violations data/bank.cind [--repair]
      cindtool implies data/bank.cind psi3
-     cindtool witness data/bank.cind *)
+     cindtool witness data/bank.cind
+
+   Global observability flags (accepted anywhere on the command line):
+
+     cindtool --metrics out.jsonl check-consistency data/bank.cind
+     cindtool --trace violations data/bank.cind
+     cindtool stats out.jsonl
+
+   Exit codes are uniform across subcommands:
+     0 — decided / ok (consistent, clean, implied, proof found)
+     1 — negative finding (inconsistent, violations found, not implied)
+     2 — usage or parse error
+     3 — undetermined (heuristic gave up / budget exceeded) or internal error *)
 
 open Cmdliner
 open Conddep_relational
 open Conddep_core
 open Conddep_dsl
 
+(* --- uniform exit codes ---------------------------------------------------- *)
+
+let exit_ok = 0
+let exit_negative = 1
+let exit_usage = 2
+let exit_undetermined = 3
+
+let exits =
+  [
+    Cmd.Exit.info exit_ok ~doc:"decided / ok: consistent, clean, implied, proof found.";
+    Cmd.Exit.info exit_negative
+      ~doc:"negative finding: inconsistent, violations found, not implied.";
+    Cmd.Exit.info exit_usage ~doc:"usage or parse error.";
+    Cmd.Exit.info exit_undetermined
+      ~doc:
+        "undetermined (heuristic gave up within its budgets) or internal \
+         error.";
+  ]
+
 let load path =
   match Parser.parse_file path with
   | Ok doc -> doc
   | Error msg ->
       Fmt.epr "%s: %s@." path msg;
-      exit 1
+      exit exit_usage
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Constraint file (.cind).")
@@ -33,10 +64,11 @@ let parse_cmd =
       (List.length (Db_schema.relations doc.Parser.schema))
       (List.length doc.sigma.Sigma.cfds)
       (List.length doc.sigma.Sigma.cinds)
-      (List.length doc.instances)
+      (List.length doc.instances);
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "parse" ~doc:"Parse, validate and pretty-print a constraint file.")
+    (Cmd.info "parse" ~exits ~doc:"Parse, validate and pretty-print a constraint file.")
     Term.(const run $ file_arg)
 
 (* --- normalize ------------------------------------------------------------ *)
@@ -47,13 +79,14 @@ let normalize_cmd =
     let nf = Sigma.normalize doc.Parser.sigma in
     Fmt.pr "# normal forms (Prop 3.1 / CFD normal form)@.";
     List.iter (fun c -> Fmt.pr "%a@." Cfd.pp_nf c) nf.Sigma.ncfds;
-    List.iter (fun c -> Fmt.pr "%a@." Cind.pp_nf c) nf.Sigma.ncinds
+    List.iter (fun c -> Fmt.pr "%a@." Cind.pp_nf c) nf.Sigma.ncinds;
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "normalize" ~doc:"Print the normal form of every constraint.")
+    (Cmd.info "normalize" ~exits ~doc:"Print the normal form of every constraint.")
     Term.(const run $ file_arg)
 
-(* --- check ----------------------------------------------------------------- *)
+(* --- check-consistency ------------------------------------------------------ *)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the heuristics.")
@@ -61,26 +94,45 @@ let seed_arg =
 let k_arg =
   Arg.(value & opt int 20 & info [ "k" ] ~docv:"K" ~doc:"Number of random runs (Fig 5).")
 
-let check_cmd =
-  let run path seed k =
-    let doc = load path in
-    let nf = Sigma.normalize doc.Parser.sigma in
-    match
-      Conddep_consistency.Checking.check ~k ~rng:(Rng.make seed) doc.Parser.schema nf
-    with
-    | Conddep_consistency.Checking.Consistent db ->
-        Fmt.pr "consistent — witness database:@.%a@." Database.pp db
-    | Conddep_consistency.Checking.Inconsistent ->
-        Fmt.pr "inconsistent (dependency-graph reduction emptied the graph)@.";
-        exit 1
-    | Conddep_consistency.Checking.Unknown ->
-        Fmt.pr "unknown — no witness found within the budgets (heuristic)@.";
-        exit 2
+let backend_arg =
+  let backends =
+    [
+      ("chase", Conddep_consistency.Cfd_checking.Chase_backend);
+      ("sat", Conddep_consistency.Cfd_checking.Sat_backend);
+    ]
   in
-  Cmd.v
-    (Cmd.info "check"
-       ~doc:"Check the consistency of the constraint set (Checking, Fig 9).")
-    Term.(const run $ file_arg $ seed_arg $ k_arg)
+  Arg.(
+    value
+    & opt (enum backends) Conddep_consistency.Cfd_checking.Chase_backend
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"CFD_Checking backend inside preProcessing: $(b,chase) or $(b,sat).")
+
+let check_run path seed k backend =
+  let doc = load path in
+  let nf = Sigma.normalize doc.Parser.sigma in
+  match
+    Conddep_consistency.Checking.check ~backend ~k ~rng:(Rng.make seed)
+      doc.Parser.schema nf
+  with
+  | Conddep_consistency.Checking.Consistent db ->
+      Fmt.pr "consistent — witness database:@.%a@." Database.pp db;
+      exit_ok
+  | Conddep_consistency.Checking.Inconsistent ->
+      Fmt.pr "inconsistent (dependency-graph reduction emptied the graph)@.";
+      exit_negative
+  | Conddep_consistency.Checking.Unknown ->
+      Fmt.pr "unknown — no witness found within the budgets (heuristic)@.";
+      exit_undetermined
+
+let check_term = Term.(const check_run $ file_arg $ seed_arg $ k_arg $ backend_arg)
+
+let check_doc = "Check the consistency of the constraint set (Checking, Fig 9)."
+
+let check_cmd = Cmd.v (Cmd.info "check" ~exits ~doc:check_doc) check_term
+
+let check_consistency_cmd =
+  (* same command under its long name, used throughout the documentation *)
+  Cmd.v (Cmd.info "check-consistency" ~exits ~doc:check_doc) check_term
 
 (* --- violations ------------------------------------------------------------ *)
 
@@ -95,21 +147,23 @@ let violations_cmd =
       | Ok db -> db
       | Error msg ->
           Fmt.epr "instance error: %s@." msg;
-          exit 1
+          exit exit_usage
     in
     let nf = Sigma.normalize doc.Parser.sigma in
     let report = Conddep_cleaning.Report.build db nf in
     Fmt.pr "%a@." Conddep_cleaning.Report.pp report;
-    if repair && Conddep_cleaning.Report.count report > 0 then begin
+    if Conddep_cleaning.Report.count report = 0 then exit_ok
+    else if repair then begin
       let repaired = Conddep_cleaning.Repair.repair ~max_rounds:8 doc.Parser.schema nf db in
-      Fmt.pr "after repair: %d violation(s) left@."
-        (List.length (Conddep_cleaning.Detect.detect repaired nf));
-      Fmt.pr "%a@." Database.pp repaired
+      let left = List.length (Conddep_cleaning.Detect.detect repaired nf) in
+      Fmt.pr "after repair: %d violation(s) left@." left;
+      Fmt.pr "%a@." Database.pp repaired;
+      if left = 0 then exit_ok else exit_negative
     end
-    else if Conddep_cleaning.Report.count report > 0 then exit 1
+    else exit_negative
   in
   Cmd.v
-    (Cmd.info "violations"
+    (Cmd.info "violations" ~exits
        ~doc:"Detect (and optionally repair) violations in the declared instances.")
     Term.(const run $ file_arg $ repair_arg)
 
@@ -131,19 +185,24 @@ let implies_cmd =
     match goals with
     | [] ->
         Fmt.epr "no CIND named %S in %s@." goal path;
-        exit 1
+        exit_usage
     | goals ->
-        List.iter
-          (fun g ->
+        List.fold_left
+          (fun code g ->
             match Implication.implies doc.Parser.schema ~sigma:rest g with
-            | true -> Fmt.pr "%a@.  IS implied by the remaining CINDs@." Cind.pp_nf g
-            | false -> Fmt.pr "%a@.  is NOT implied by the remaining CINDs@." Cind.pp_nf g
+            | true ->
+                Fmt.pr "%a@.  IS implied by the remaining CINDs@." Cind.pp_nf g;
+                code
+            | false ->
+                Fmt.pr "%a@.  is NOT implied by the remaining CINDs@." Cind.pp_nf g;
+                max code exit_negative
             | exception Implication.Budget_exceeded ->
-                Fmt.pr "%a@.  undetermined: search budget exceeded@." Cind.pp_nf g)
-          goals
+                Fmt.pr "%a@.  undetermined: search budget exceeded@." Cind.pp_nf g;
+                max code exit_undetermined)
+          exit_ok goals
   in
   Cmd.v
-    (Cmd.info "implies"
+    (Cmd.info "implies" ~exits
        ~doc:
          "Decide whether the named CIND is implied by the file's other CINDs \
           (exact procedure, Thm 3.4).")
@@ -161,26 +220,28 @@ let prove_cmd =
     match goals with
     | [] ->
         Fmt.epr "no CIND named %S in %s@." goal path;
-        exit 1
+        exit_usage
     | g :: _ -> (
         match Proof_search.derive doc.Parser.schema ~sigma:rest g with
-        | Some proof ->
+        | Some proof -> (
             Fmt.pr "derivation of %a from the remaining CINDs:@.%a" Cind.pp_nf g
               Inference.pp_proof proof;
-            (match Inference.proves doc.Parser.schema ~sigma:rest proof g with
-            | Ok _ -> Fmt.pr "(re-checked by the proof verifier)@."
+            match Inference.proves doc.Parser.schema ~sigma:rest proof g with
+            | Ok _ ->
+                Fmt.pr "(re-checked by the proof verifier)@.";
+                exit_ok
             | Error msg ->
                 Fmt.epr "internal error: emitted proof rejected: %s@." msg;
-                exit 3)
+                exit_undetermined)
         | None ->
             Fmt.pr "%a is NOT implied by the remaining CINDs@." Cind.pp_nf g;
-            exit 1
+            exit_negative
         | exception Invalid_argument msg ->
             Fmt.epr "%s@." msg;
-            exit 2)
+            exit_usage)
   in
   Cmd.v
-    (Cmd.info "prove"
+    (Cmd.info "prove" ~exits
        ~doc:
          "Derive the named CIND from the file's other CINDs as an explicit \
           CIND1-CIND6 proof (infinite-domain attributes only, Thm 3.5).")
@@ -202,10 +263,11 @@ let logic_cmd =
       (fun c ->
         Fmt.pr "@[<v2>-- %s:@,%a@]@." c.Cind.nf_name Logic.pp
           (Logic.cind_to_formula doc.Parser.schema c))
-      nf.Sigma.ncinds
+      nf.Sigma.ncinds;
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "logic"
+    (Cmd.info "logic" ~exits
        ~doc:"Print every constraint as a first-order sentence (TGD/EGD form).")
     Term.(const run $ file_arg)
 
@@ -221,10 +283,11 @@ let cover_cmd =
       (List.length cfds) (List.length nf.Sigma.ncfds) (List.length cinds)
       (List.length nf.Sigma.ncinds);
     List.iter (fun c -> Fmt.pr "%a@." Cfd.pp_nf c) cfds;
-    List.iter (fun c -> Fmt.pr "%a@." Cind.pp_nf c) cinds
+    List.iter (fun c -> Fmt.pr "%a@." Cind.pp_nf c) cinds;
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "cover"
+    (Cmd.info "cover" ~exits
        ~doc:"Remove constraints implied by the rest (budgeted minimal cover).")
     Term.(const run $ file_arg)
 
@@ -237,32 +300,160 @@ let witness_cmd =
     match Witness.database doc.Parser.schema nf.Sigma.ncinds with
     | db ->
         Fmt.pr "Theorem 3.2 witness (%d tuples):@.%a@." (Database.total_tuples db)
-          Database.pp db
+          Database.pp db;
+        exit_ok
     | exception Witness.Too_large n ->
         Fmt.epr "witness would have %d tuples; aborting@." n;
-        exit 1
+        exit_undetermined
   in
   Cmd.v
-    (Cmd.info "witness"
+    (Cmd.info "witness" ~exits
        ~doc:"Build the cross-product witness database for the file's CINDs (Thm 3.2).")
     Term.(const run $ file_arg)
 
+(* --- stats ------------------------------------------------------------------- *)
+
+(* Aggregate a metrics JSON-lines file written by --metrics: last value per
+   counter/histogram (flushes are cumulative), span events summed. *)
+let stats_cmd =
+  let run path =
+    match open_in path with
+    | exception Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit_usage
+    | ic ->
+        let counters = Hashtbl.create 64 in
+        let hists = Hashtbl.create 32 in
+        let spans = Hashtbl.create 32 in
+        let malformed = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Telemetry.parse_event line with
+               | Some (Telemetry.Counter_event { name; value }) ->
+                   Hashtbl.replace counters name value
+               | Some (Telemetry.Histogram_event { name; stats }) ->
+                   Hashtbl.replace hists name stats
+               | Some (Telemetry.Span_event { name; dur_s; _ }) ->
+                   let n, s =
+                     Option.value ~default:(0, 0.) (Hashtbl.find_opt spans name)
+                   in
+                   Hashtbl.replace spans name (n + 1, s +. dur_s)
+               | None -> incr malformed
+           done
+         with End_of_file -> close_in ic);
+        let sorted tbl =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        Fmt.pr "@[<v># metrics from %s@," path;
+        Fmt.pr "@,-- counters@,";
+        List.iter (fun (name, v) -> Fmt.pr "%-44s %d@," name v) (sorted counters);
+        Fmt.pr "@,-- histograms (durations)@,";
+        List.iter
+          (fun (name, (hs : Telemetry.histogram_stats)) ->
+            Fmt.pr "%-44s count=%-8d sum=%.6fs mean=%.6fs@," name hs.Telemetry.hs_count
+              hs.hs_sum
+              (if hs.hs_count = 0 then 0. else hs.hs_sum /. float_of_int hs.hs_count))
+          (sorted hists);
+        if Hashtbl.length spans > 0 then begin
+          Fmt.pr "@,-- spans@,";
+          List.iter
+            (fun (name, (n, s)) -> Fmt.pr "%-44s count=%-8d total=%.6fs@," name n s)
+            (sorted spans)
+        end;
+        if !malformed > 0 then Fmt.pr "@,(%d unparseable line(s) skipped)@," !malformed;
+        Fmt.pr "@]@.";
+        exit_ok
+  in
+  Cmd.v
+    (Cmd.info "stats" ~exits
+       ~doc:
+         "Summarize a metrics JSON-lines file produced by $(b,--metrics) \
+          (counters, histograms, span totals).")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"METRICS" ~doc:"JSON-lines metrics file."))
+
+(* --- telemetry flags --------------------------------------------------------- *)
+
+(* --trace / --metrics FILE are global: they may appear before or after the
+   subcommand name.  Cmdliner selects the subcommand from the first
+   positional token, which would misread `--metrics out.jsonl check ...`
+   (space-separated option values are ambiguous at selection time), so the
+   flags are stripped from argv before cmdliner sees it. *)
+let extract_telemetry argv =
+  let rec go acc trace metrics = function
+    | [] -> Ok (List.rev acc, trace, metrics)
+    | "--trace" :: rest -> go acc true metrics rest
+    | [ "--metrics" ] -> Error "option --metrics needs an argument"
+    | "--metrics" :: path :: rest -> go acc trace (Some path) rest
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+        go acc trace (Some (String.sub arg 10 (String.length arg - 10))) rest
+    | arg :: rest -> go (arg :: acc) trace metrics rest
+  in
+  go [] false None argv
+
+let setup_telemetry ~trace ~metrics =
+  if trace || metrics <> None then Telemetry.enable ();
+  (match metrics with
+  | Some path ->
+      let oc = open_out path in
+      Telemetry.set_sink (Telemetry.Jsonl oc);
+      at_exit (fun () ->
+          Telemetry.flush_metrics ();
+          Telemetry.set_sink Telemetry.Null;
+          close_out oc)
+  | None -> if trace then Telemetry.set_sink (Telemetry.Pretty Fmt.stderr));
+  if trace then at_exit (fun () -> Telemetry.pp_report Fmt.stderr ())
+
+(* --- main --------------------------------------------------------------------- *)
+
 let () =
+  let man =
+    [
+      `S Manpage.s_common_options;
+      `P
+        "$(b,--trace) (anywhere on the command line) enables telemetry with a \
+         human-readable span trace on stderr and a counter report at exit.";
+      `P
+        "$(b,--metrics) $(i,FILE) (anywhere on the command line) enables \
+         telemetry and writes span events plus a final counter/histogram \
+         snapshot to $(i,FILE) as JSON-lines; summarize it with $(b,cindtool \
+         stats) $(i,FILE).";
+    ]
+  in
   let info =
-    Cmd.info "cindtool" ~version:"1.0.0"
+    Cmd.info "cindtool" ~version:"1.0.0" ~exits ~man
       ~doc:"Reasoning about conditional inclusion and functional dependencies."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            parse_cmd;
-            normalize_cmd;
-            check_cmd;
-            violations_cmd;
-            implies_cmd;
-            prove_cmd;
-            logic_cmd;
-            cover_cmd;
-            witness_cmd;
-          ]))
+  match extract_telemetry (List.tl (Array.to_list Sys.argv)) with
+  | Error msg ->
+      Fmt.epr "cindtool: %s@." msg;
+      exit exit_usage
+  | Ok (rest, trace, metrics) ->
+      setup_telemetry ~trace ~metrics;
+      let argv = Array.of_list (Sys.argv.(0) :: rest) in
+      let code =
+        Cmd.eval' ~argv
+          (Cmd.group info
+             [
+               parse_cmd;
+               normalize_cmd;
+               check_cmd;
+               check_consistency_cmd;
+               violations_cmd;
+               implies_cmd;
+               prove_cmd;
+               logic_cmd;
+               cover_cmd;
+               witness_cmd;
+               stats_cmd;
+             ])
+      in
+      (* cmdliner's CLI-error code is 124; fold it into the uniform scheme *)
+      exit (if code = 124 || code = 123 then exit_usage else code)

@@ -25,6 +25,13 @@ type config = {
   max_steps : int; (* safety budget on chase operations *)
 }
 
+let m_runs = Telemetry.counter "chase.runs" ~doc:"full chase invocations"
+let m_fd_steps = Telemetry.counter "chase.fd_steps" ~doc:"FD(phi) applications (value identifications)"
+let m_ind_steps = Telemetry.counter "chase.ind_steps" ~doc:"IND(psi) applications (witness tuples added)"
+let m_fd_undefined = Telemetry.counter "chase.fd_undefined" ~doc:"FD(phi) constant clashes (chase undefined)"
+let m_threshold_hits = Telemetry.counter "chase.threshold_hits" ~doc:"IND(psi) refusals: relation at the bound T"
+let m_budget_exceeded = Telemetry.counter "chase.budget_exceeded" ~doc:"chase loops stopped by the step budget"
+
 let default_config = { pool_size = 2; threshold = 2000; max_steps = 20_000 }
 
 type outcome =
@@ -166,15 +173,22 @@ let fd_step cfd db =
 (* Chase with CFDs only, to fixpoint. *)
 let fd_fixpoint ?(max_steps = 10_000) cfds db =
   let rec go db steps =
-    if steps > max_steps then Undefined "FD fixpoint budget exceeded"
+    if steps > max_steps then begin
+      Telemetry.incr m_budget_exceeded;
+      Undefined "FD fixpoint budget exceeded"
+    end
     else
       let rec try_cfds = function
         | [] -> Terminal db
         | cfd :: rest -> (
             match fd_step cfd db with
-            | Fd_changed db' -> go db' (steps + 1)
+            | Fd_changed db' ->
+                Telemetry.incr m_fd_steps;
+                go db' (steps + 1)
             | Fd_unchanged -> try_cfds rest
-            | Fd_undefined why -> Undefined why)
+            | Fd_undefined why ->
+                Telemetry.incr m_fd_undefined;
+                Undefined why)
       in
       try_cfds cfds
   in
@@ -225,14 +239,18 @@ let ind_step ~instantiated ~threshold pool rng schema cind db =
     | [] -> Ind_unchanged
     | ta :: rest ->
         if triggers cind ta && not (has_witness cind db ta) then
-          if Template.cardinal db cind.i_rhs >= threshold then
+          if Template.cardinal db cind.i_rhs >= threshold then begin
+            Telemetry.incr m_threshold_hits;
             Ind_overflow
               (Printf.sprintf "IND(%s): relation %s exceeds threshold T" cind.i_name
                  cind.i_rhs)
-          else
+          end
+          else begin
+            Telemetry.incr m_ind_steps;
             Ind_changed
               (Template.add db cind.i_rhs
                  (witness_tuple ~instantiated pool rng schema cind ta))
+          end
         else go rest
   in
   go (Template.tuples db cind.i_lhs)
@@ -243,9 +261,14 @@ let ind_step ~instantiated ~threshold pool rng schema cind db =
    [instantiated] set this is chase_I of Section 5.2 (bounded relations,
    constants for finite-domain fields). *)
 let run ?(instantiated = false) ~config ~rng schema compiled db =
+  Telemetry.incr m_runs;
+  Telemetry.with_span "chase.run" @@ fun () ->
   let pool = Pool.make ~n:config.pool_size in
   let rec go db steps =
-    if steps > config.max_steps then Undefined "chase step budget exceeded"
+    if steps > config.max_steps then begin
+      Telemetry.incr m_budget_exceeded;
+      Undefined "chase step budget exceeded"
+    end
     else
       match fd_fixpoint ~max_steps:config.max_steps compiled.cfds db with
       | Undefined why -> Undefined why

@@ -5,6 +5,8 @@
 
 type t = { n : int }
 
+let m_picks = Telemetry.counter "chase.pool_picks" ~doc:"pool-variable allocations by IND chase steps"
+
 let make ~n =
   if n < 1 then invalid_arg "Pool.make: pool size must be at least 1";
   { n }
@@ -15,4 +17,5 @@ let vars t ~rel ~attr =
   List.init t.n (fun i -> { Template.vrel = rel; vattr = attr; vidx = i })
 
 let pick t rng ~rel ~attr =
+  Telemetry.incr m_picks;
   Template.V { Template.vrel = rel; vattr = attr; vidx = Rng.int rng t.n }

@@ -30,6 +30,9 @@ let violation_rel = function
   | Cfd_violation v -> v.rel
   | Cind_violation v -> v.lhs
 
+let m_scanned = Telemetry.counter "detect.naive.tuples_scanned" ~doc:"tuples visited by the reference pair-scan/witness-scan detector"
+let m_violations = Telemetry.counter "detect.naive.violations" ~doc:"violations reported by the reference detector"
+
 (* CIND violations via anti-join: triggering LHS tuples minus those with a
    matching partner in the (pattern-restricted) RHS relation. *)
 let cind_violations db (nf : Cind.nf) =
@@ -53,6 +56,15 @@ let cind_violations db (nf : Cind.nf) =
   Relation.tuples (Algebra.anti_join triggering ~lpos restricted ~rpos)
 
 let detect db (sigma : Sigma.nf) =
+  Telemetry.with_span "detect.naive" @@ fun () ->
+  (* pair scans visit |R|^2 tuple pairs per CFD; witness scans |R1|·|R2| *)
+  let card rel = Relation.cardinal (Database.relation db rel) in
+  List.iter
+    (fun nf -> Telemetry.add m_scanned (card nf.Cfd.nf_rel * card nf.nf_rel))
+    sigma.Sigma.ncfds;
+  List.iter
+    (fun nf -> Telemetry.add m_scanned (card nf.Cind.nf_lhs * max 1 (card nf.nf_rhs)))
+    sigma.Sigma.ncinds;
   let cfd_violations =
     List.concat_map
       (fun nf ->
@@ -79,7 +91,9 @@ let detect db (sigma : Sigma.nf) =
           (cind_violations db nf))
       sigma.Sigma.ncinds
   in
-  cfd_violations @ cind_violations
+  let all = cfd_violations @ cind_violations in
+  Telemetry.add m_violations (List.length all);
+  all
 
 let is_clean db sigma = detect db sigma = []
 

@@ -17,6 +17,9 @@ open Conddep_core
 
    Differentially tested against [Detect] on random databases. *)
 
+let m_scanned = Telemetry.counter "detect.fast.tuples_scanned" ~doc:"tuples visited by the hash-grouped detector (one pass per constraint)"
+let m_probes = Telemetry.counter "detect.fast.index_probes" ~doc:"hash-index lookups (CIND witness probes)"
+
 module Key = struct
   type t = Value.t list
 
@@ -34,6 +37,7 @@ let cfd_violations db (nf : Cfd.nf) =
   let xpos = List.map (Schema.position sch) nf.nf_x in
   let apos = Schema.position sch nf.nf_a in
   (* group matching tuples by X-projection *)
+  Telemetry.add m_scanned (Relation.cardinal rel);
   let groups : Tuple.t list Key_tbl.t = Key_tbl.create 64 in
   Relation.iter
     (fun t ->
@@ -82,6 +86,7 @@ let cind_violations db (nf : Cind.nf) =
   let xpos = List.map (Schema.position r1) nf.nf_x in
   let ypos = List.map (Schema.position r2) nf.nf_y in
   (* index the pattern-restricted RHS by Y-projection *)
+  Telemetry.add m_scanned (Relation.cardinal rhs_rel + Relation.cardinal lhs_rel);
   let index = Key_tbl.create 256 in
   Relation.iter
     (fun t ->
@@ -93,13 +98,17 @@ let cind_violations db (nf : Cind.nf) =
       let triggers =
         List.for_all (fun (pos, v) -> Value.equal (Tuple.get t pos) v) xppos
       in
-      if triggers && not (Key_tbl.mem index (Tuple.proj t xpos)) then t :: acc
+      if triggers then begin
+        Telemetry.incr m_probes;
+        if not (Key_tbl.mem index (Tuple.proj t xpos)) then t :: acc else acc
+      end
       else acc)
     lhs_rel []
 
 (* --- whole constraint sets ------------------------------------------------- *)
 
 let detect db (sigma : Sigma.nf) =
+  Telemetry.with_span "detect.fast" @@ fun () ->
   List.concat_map
     (fun nf ->
       List.map

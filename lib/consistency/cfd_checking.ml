@@ -20,9 +20,15 @@ type backend =
   | Chase_backend
   | Sat_backend
 
+let m_calls = Telemetry.counter "checking.cfd.calls" ~doc:"CFD_Checking invocations (both backends)"
+let m_kcfd_retries = Telemetry.counter "checking.cfd.kcfd_retries" ~doc:"random valuations drawn by the chase backend (K_CFD budget consumed)"
+let m_chase_calls = Telemetry.counter "checking.cfd.chase_backend_calls" ~doc:"single-relation checks routed to the chase backend"
+let m_sat_calls = Telemetry.counter "checking.cfd.sat_backend_calls" ~doc:"single-relation checks routed to the SAT backend"
+
 (* --- chase-based CFD_Checking on an arbitrary template --- *)
 
 let check_template ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
+  Telemetry.incr m_calls;
   match Chase.fd_fixpoint compiled_cfds db with
   | Chase.Undefined _ -> None
   | Chase.Terminal db -> (
@@ -41,6 +47,7 @@ let check_template ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
           let rec attempts k =
             if k <= 0 then None
             else
+              let () = Telemetry.incr m_kcfd_retries in
               let candidate = Chase.instantiate_finite_vars ~prefer ~avoid rng db in
               match Chase.fd_fixpoint compiled_cfds candidate with
               | Chase.Terminal done_db when Template.finite_variables done_db = [] ->
@@ -161,12 +168,14 @@ let consistent_rel_sat ?(avoid = []) schema cfds ~rel =
 let consistent_rel ?(backend = Chase_backend) ?avoid ?k_cfd ~rng schema cfds ~rel =
   match backend with
   | Chase_backend -> (
+      Telemetry.incr m_chase_calls;
       let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
       match consistent_rel_chase ?k_cfd ?avoid ~rng schema cfds ~rel with
       | None -> None
       | Some db -> (
           match Template.tuples db rel with [ t ] -> Some t | _ -> assert false))
   | Sat_backend -> (
+      Telemetry.incr m_sat_calls;
       match consistent_rel_sat ?avoid schema cfds ~rel with
       | None -> None
       | Some tuple ->

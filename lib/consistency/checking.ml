@@ -13,23 +13,39 @@ type result =
   | Inconsistent
   | Unknown
 
+let m_calls = Telemetry.counter "checking.calls" ~doc:"top-level Checking invocations"
+let m_consistent = Telemetry.counter "checking.results_consistent" ~doc:"Checking answers with a verified witness"
+let m_inconsistent = Telemetry.counter "checking.results_inconsistent" ~doc:"Checking answers: dependency graph emptied"
+let m_unknown = Telemetry.counter "checking.results_unknown" ~doc:"Checking answers: budgets exhausted"
+let m_components_tried = Telemetry.counter "checking.components_tried" ~doc:"weakly connected components run through RandomChecking"
+
 let check ?backend ?config ?k ?k_cfd ~rng schema (sigma : Sigma.nf) =
-  match Preprocessing.run ?backend ?k_cfd ~rng schema sigma with
+  Telemetry.incr m_calls;
+  Telemetry.with_span "checking.check" @@ fun () ->
+  let result =
+    match Preprocessing.run ?backend ?k_cfd ~rng schema sigma with
   | Preprocessing.Consistent db -> Consistent db
   | Preprocessing.Inconsistent -> Inconsistent
-  | Preprocessing.Unknown components ->
-      let rec try_components = function
-        | [] -> Unknown
-        | (members, component_sigma) :: rest -> (
-            match
-              Random_checking.check ?config ?k ?k_cfd ~seed_rels:members ~rng schema
-                component_sigma
-            with
-            | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
-                Consistent db
-            | Random_checking.Consistent _ | Random_checking.Unknown ->
-                try_components rest)
-      in
-      try_components components
+    | Preprocessing.Unknown components ->
+        let rec try_components = function
+          | [] -> Unknown
+          | (members, component_sigma) :: rest -> (
+              Telemetry.incr m_components_tried;
+              match
+                Random_checking.check ?config ?k ?k_cfd ~seed_rels:members ~rng schema
+                  component_sigma
+              with
+              | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
+                  Consistent db
+              | Random_checking.Consistent _ | Random_checking.Unknown ->
+                  try_components rest)
+        in
+        try_components components
+  in
+  (match result with
+  | Consistent _ -> Telemetry.incr m_consistent
+  | Inconsistent -> Telemetry.incr m_inconsistent
+  | Unknown -> Telemetry.incr m_unknown);
+  result
 
 let to_bool = function Consistent _ -> true | Inconsistent | Unknown -> false

@@ -21,6 +21,13 @@ type result =
   | Unknown of (string list * Sigma.nf) list
       (* weakly connected components with their (extended) constraints *)
 
+let m_runs = Telemetry.counter "checking.preprocess.runs" ~doc:"preProcessing invocations"
+let m_sccs = Telemetry.counter "checking.preprocess.sccs" ~doc:"strongly connected components in the dependency graphs processed"
+let m_pruned_inconsistent = Telemetry.counter "checking.preprocess.pruned_inconsistent" ~doc:"vertices deleted because CFD(R) is inconsistent"
+let m_pruned_indegree0 = Telemetry.counter "checking.preprocess.pruned_indegree0" ~doc:"vertices pruned by the indegree-0 rule (Fig 7 line 13)"
+let m_bot_cfds = Telemetry.counter "checking.preprocess.nontriggering_cfds" ~doc:"non-triggering CFDs CIND(Rj,R)_bot pushed to predecessors"
+let m_components = Telemetry.counter "checking.preprocess.components" ~doc:"weakly connected components handed to RandomChecking"
+
 (* The non-triggering CFDs CIND(Rj, R)⊥ for one CIND ψ from Rj to R:
    (Rj : Xp -> A, (tp[Xp] || c1)) and (Rj : Xp -> A, (tp[Xp] || c2)) with
    c1 <> c2, denying every Rj tuple that matches tp[Xp]. *)
@@ -72,7 +79,11 @@ let singleton_db schema ~rel ~avoid (tau : Template.tuple) =
   Template.to_database ~avoid db
 
 let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
+  Telemetry.incr m_runs;
+  Telemetry.with_span "checking.preprocess" @@ fun () ->
   let g = Depgraph.make schema sigma in
+  let sccs = Depgraph.sccs g in
+  Telemetry.add m_sccs (List.length sccs);
   let avoid =
     List.map (fun (_, _, v) -> v) (Sigma.constants sigma) |> List.sort_uniq Value.compare
   in
@@ -84,7 +95,8 @@ let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
       Queue.push r queue
     end
   in
-  List.iter enqueue (Depgraph.topo_order g);
+  (* topo order = Tarjan's SCC emission order, flattened *)
+  List.iter enqueue (List.concat sccs);
   let outcome = ref None in
   while !outcome = None && not (Queue.is_empty queue) do
     let r = Queue.pop queue in
@@ -106,6 +118,7 @@ let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
           end
       | None ->
           (* CFD(r) inconsistent: r must be empty. *)
+          Telemetry.incr m_pruned_inconsistent;
           List.iter
             (fun rj ->
               let bots =
@@ -113,6 +126,7 @@ let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
                   (Depgraph.cinds_between g ~src:rj ~dst:r)
               in
               if bots <> [] then begin
+                Telemetry.add m_bot_cfds (List.length bots);
                 Depgraph.add_cfds g rj bots;
                 enqueue rj
               end)
@@ -125,10 +139,14 @@ let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
   | None ->
       (* prune indegree-0 vertices (single pass, as in Fig 7 line 13) *)
       let zero = List.filter (fun r -> Depgraph.indegree g r = 0) (Depgraph.live g) in
+      Telemetry.add m_pruned_indegree0 (List.length zero);
       List.iter (Depgraph.remove g) zero;
       if Depgraph.live g = [] then Inconsistent
-      else
+      else begin
+        let components = Depgraph.weak_components g in
+        Telemetry.add m_components (List.length components);
         Unknown
           (List.map
              (fun members -> (members, Depgraph.component_sigma g members))
-             (Depgraph.weak_components g))
+             components)
+      end

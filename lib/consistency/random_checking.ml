@@ -17,6 +17,9 @@ type result =
   | Consistent of Database.t
   | Unknown
 
+let m_runs = Telemetry.counter "checking.random.runs" ~doc:"RandomChecking chase runs attempted (K budget consumed)"
+let m_successes = Telemetry.counter "checking.random.successes" ~doc:"RandomChecking runs ending in a verified witness"
+
 let chase_run ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compiled) db =
   let pool = Pool.make ~n:config.Chase.pool_size in
   (* IND steps fill unknown fields with pool *variables* (instantiated:
@@ -59,16 +62,23 @@ let check ?(config = Chase.default_config) ?(k = 20) ?(k_cfd = 100) ?seed_rels ~
   else begin
     let rec runs remaining =
       if remaining <= 0 then Unknown
-      else
+      else begin
+        Telemetry.incr m_runs;
         let rel = Rng.pick rng seed_rels in
         let db = Chase.seed_tuple schema ~rel in
-        match chase_run ~config ~k_cfd ~avoid ~rng schema compiled db with
+        match
+          Telemetry.with_span "checking.random_run" @@ fun () ->
+          chase_run ~config ~k_cfd ~avoid ~rng schema compiled db
+        with
         | Some terminal ->
             let concrete = Template.to_database ~avoid terminal in
-            if (not (Database.is_empty concrete)) && Sigma.nf_holds concrete sigma then
+            if (not (Database.is_empty concrete)) && Sigma.nf_holds concrete sigma then begin
+              Telemetry.incr m_successes;
               Consistent concrete
+            end
             else runs (remaining - 1)
         | None -> runs (remaining - 1)
+      end
     in
     runs k
   end

@@ -7,6 +7,14 @@ type result =
   | Sat of bool array (* indexed by variable, index 0 unused *)
   | Unsat
 
+let m_solves = Telemetry.counter "sat.solve_calls" ~doc:"CNF instances handed to the DPLL solver"
+let m_decisions = Telemetry.counter "sat.decisions" ~doc:"branching decisions"
+let m_propagations = Telemetry.counter "sat.propagations" ~doc:"literals assigned by unit propagation"
+let m_conflicts = Telemetry.counter "sat.conflicts" ~doc:"clauses falsified during propagation"
+let m_restarts = Telemetry.counter "sat.restarts" ~doc:"always 0: the chronological solver never restarts; kept for comparability with CDCL-style accounting"
+let m_sat = Telemetry.counter "sat.results_sat" ~doc:"instances decided satisfiable"
+let m_unsat = Telemetry.counter "sat.results_unsat" ~doc:"instances decided unsatisfiable"
+
 exception Found_unsat
 
 type state = {
@@ -80,9 +88,11 @@ let propagate st =
               st.watch.(wl) <- ci :: st.watch.(wl);
               match lit_value st c.(0) with
               | -1 ->
+                  Telemetry.incr m_conflicts;
                   ok := false;
                   st.watch.(wl) <- List.rev_append rest st.watch.(wl)
               | 0 ->
+                  Telemetry.incr m_propagations;
                   push_assign st c.(0);
                   process rest
               | _ -> process rest
@@ -112,7 +122,7 @@ let simplify_clause clause =
   let sorted = List.sort_uniq Int.compare clause in
   if List.exists (fun l -> List.mem (-l) sorted) sorted then None else Some sorted
 
-let solve cnf =
+let solve_raw cnf =
   let num_vars = Cnf.num_vars cnf in
   let simplified = List.filter_map simplify_clause (Cnf.clauses cnf) in
   if List.exists (fun c -> c = []) simplified then Unsat
@@ -164,6 +174,7 @@ let solve cnf =
               done;
               Sat model
           | Some l ->
+              Telemetry.incr m_decisions;
               Stack.push (st.trail_len, l, false) dstack;
               push_assign st l;
               search ()
@@ -183,6 +194,16 @@ let solve cnf =
       search ()
     with Found_unsat -> Unsat
   end
+
+let solve cnf =
+  ignore m_restarts;
+  Telemetry.incr m_solves;
+  Telemetry.with_span "sat.solve" @@ fun () ->
+  let result = solve_raw cnf in
+  (match result with
+  | Sat _ -> Telemetry.incr m_sat
+  | Unsat -> Telemetry.incr m_unsat);
+  result
 
 let is_sat cnf = match solve cnf with Sat _ -> true | Unsat -> false
 

@@ -1,0 +1,397 @@
+(* Process-wide telemetry: monotonic counters, duration histograms with
+   fixed log-scale buckets, and nested span tracing, feeding a pluggable
+   sink (no-op, stderr pretty-printer, JSON-lines writer).
+
+   Design constraints (see DESIGN.md, "Observability"):
+   - near-zero overhead when disabled: every record site is guarded by the
+     single [enabled] flag, and the disabled path allocates nothing —
+     counters and histograms are created once at module-initialisation
+     time, so [incr]/[add]/[observe] are a load, a test and (when enabled)
+     an in-place mutation;
+   - recording never perturbs the algorithms: no RNG use, no reordering,
+     no exceptions (sink I/O errors are the caller's problem at flush
+     time, not the instrumented code's);
+   - metric keys follow [subsystem.event] (dots separate levels,
+     snake_case within a level), e.g. [sat.decisions],
+     [checking.cfd.kcfd_retries]. *)
+
+(* --- global switch ------------------------------------------------------- *)
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+(* --- counters ------------------------------------------------------------ *)
+
+type counter = { c_name : string; c_doc : string; mutable c_count : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter ?(doc = "") name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_doc = doc; c_count = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = if !enabled_flag then c.c_count <- c.c_count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Telemetry.add: counters are monotonic";
+  if !enabled_flag then c.c_count <- c.c_count + n
+
+let count c = c.c_count
+
+(* --- histograms ---------------------------------------------------------- *)
+
+(* Fixed log-scale bucket upper bounds, in seconds: two buckets per decade
+   from 1µs to 100s (10^(k/2) for k = -12 .. 4), plus an overflow bucket.
+   A value v lands in the first bucket with v <= bound. *)
+let bucket_bounds =
+  Array.init 17 (fun i -> 10. ** (float_of_int (i - 12) /. 2.))
+
+let num_buckets = Array.length bucket_bounds + 1 (* + overflow *)
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array; (* length [num_buckets]; last = overflow *)
+  mutable h_count : int;
+  mutable h_sum : float; (* seconds *)
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; h_buckets = Array.make num_buckets 0; h_count = 0; h_sum = 0. }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let bucket_of v =
+  let n = Array.length bucket_bounds in
+  let rec go i = if i >= n then n else if v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if !enabled_flag then begin
+    h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v
+  end
+
+(* --- sinks --------------------------------------------------------------- *)
+
+type sink =
+  | Null
+  | Pretty of Format.formatter
+  | Jsonl of out_channel
+
+let sink = ref Null
+
+let set_sink s = sink := s
+
+(* Minimal JSON string escaping — metric names are plain identifiers, but
+   sinks must never emit malformed lines whatever the caller passes. *)
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* --- spans --------------------------------------------------------------- *)
+
+let depth = ref 0
+
+let span_depth () = !depth
+
+let emit_span name dur err =
+  match !sink with
+  | Null -> ()
+  | Pretty ppf ->
+      Format.fprintf ppf "[span]%s %s%s %.6fs@."
+        (String.make (2 * !depth) ' ')
+        name
+        (if err then " !" else "")
+        dur
+  | Jsonl oc ->
+      Printf.fprintf oc
+        "{\"ev\":\"span\",\"name\":\"%s\",\"dur_s\":%.9f,\"depth\":%d%s}\n"
+        (escape name) dur !depth
+        (if err then ",\"err\":true" else "")
+
+let record_span name dur err =
+  observe (histogram name) dur;
+  emit_span name dur err
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Stdlib.incr depth;
+    match f () with
+    | v ->
+        Stdlib.decr depth;
+        record_span name (Unix.gettimeofday () -. t0) false;
+        v
+    | exception e ->
+        Stdlib.decr depth;
+        record_span name (Unix.gettimeofday () -. t0) true;
+        raise e
+  end
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type histogram_stats = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list; (* (upper bound, count); infinity = overflow *)
+}
+
+let by_name cmp = List.sort (fun (a, _) (b, _) -> String.compare a b) cmp
+
+let counter_snapshot () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_count) :: acc) counters [] |> by_name
+
+let histogram_stats h =
+  {
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_buckets =
+      List.init num_buckets (fun i ->
+          ( (if i < Array.length bucket_bounds then bucket_bounds.(i) else infinity),
+            h.h_buckets.(i) ));
+  }
+
+let histogram_snapshot () =
+  Hashtbl.fold (fun name h acc -> (name, histogram_stats h) :: acc) histograms []
+  |> by_name
+
+let counter_docs () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_doc) :: acc) counters [] |> by_name
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_buckets 0 num_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.)
+    histograms;
+  depth := 0
+
+(* --- JSON-lines emission and parsing ------------------------------------- *)
+
+let json_of_counters ?label pairs =
+  let b = Buffer.create 128 in
+  (match label with
+  | Some (k, v) -> Buffer.add_string b (Printf.sprintf "{\"%s\":\"%s\",\"counters\":{" (escape k) (escape v))
+  | None -> Buffer.add_string b "{\"counters\":{");
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (escape name) v))
+    pairs;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let histogram_line name (hs : histogram_stats) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ev\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum_s\":%.9f,\"buckets\":["
+       (escape name) hs.hs_count hs.hs_sum);
+  List.iteri
+    (fun i (le, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      if Float.is_integer le || le = infinity then
+        Buffer.add_string b
+          (Printf.sprintf "[%s,%d]" (if le = infinity then "\"inf\"" else Printf.sprintf "%.0f" le) n)
+      else Buffer.add_string b (Printf.sprintf "[%.9g,%d]" le n))
+    hs.hs_buckets;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Write every counter and histogram to the current sink (one line each for
+   the JSON-lines sink; a report block for the pretty sink). *)
+let rec flush_metrics () =
+  match !sink with
+  | Null -> ()
+  | Pretty ppf -> pp_report ppf ()
+  | Jsonl oc ->
+      List.iter
+        (fun (name, v) ->
+          Printf.fprintf oc "{\"ev\":\"counter\",\"name\":\"%s\",\"value\":%d}\n" (escape name) v)
+        (counter_snapshot ());
+      List.iter
+        (fun (name, hs) -> Printf.fprintf oc "%s\n" (histogram_line name hs))
+        (histogram_snapshot ());
+      Stdlib.flush oc
+
+and pp_report ppf () =
+  Format.fprintf ppf "@[<v>-- telemetry counters@,";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-40s %d@," name v)
+    (counter_snapshot ());
+  Format.fprintf ppf "-- telemetry histograms (durations)@,";
+  List.iter
+    (fun (name, hs) ->
+      Format.fprintf ppf "%-40s count=%d sum=%.6fs mean=%.6fs@," name hs.hs_count
+        hs.hs_sum
+        (if hs.hs_count = 0 then 0. else hs.hs_sum /. float_of_int hs.hs_count))
+    (histogram_snapshot ());
+  Format.fprintf ppf "@]@."
+
+(* --- parsing our own JSON-lines back ------------------------------------- *)
+
+type event =
+  | Counter_event of { name : string; value : int }
+  | Histogram_event of { name : string; stats : histogram_stats }
+  | Span_event of { name : string; dur_s : float; depth : int; err : bool }
+
+(* A tiny scanner for the exact lines the Jsonl sink writes (and the bench
+   counter blocks).  Not a general JSON parser: the grammar is ours. *)
+
+let find_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let ll = String.length line and pl = String.length pat in
+  let rec go i =
+    if i + pl > ll then None
+    else if String.sub line i pl = pat then Some (i + pl)
+    else go (i + 1)
+  in
+  go 0
+
+let string_field line key =
+  match find_field line key with
+  | None -> None
+  | Some i when i < String.length line && line.[i] = '"' ->
+      let b = Buffer.create 16 in
+      let rec go j =
+        if j >= String.length line then None
+        else
+          match line.[j] with
+          | '"' -> Some (Buffer.contents b)
+          | '\\' when j + 1 < String.length line ->
+              (match line.[j + 1] with
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | c -> Buffer.add_char b c);
+              go (j + 2)
+          | c ->
+              Buffer.add_char b c;
+              go (j + 1)
+      in
+      go (i + 1)
+  | Some _ -> None
+
+let number_field line key =
+  match find_field line key with
+  | None -> None
+  | Some i ->
+      let ll = String.length line in
+      let j = ref i in
+      while
+        !j < ll
+        && (match line.[!j] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        Stdlib.incr j
+      done;
+      if !j = i then None else float_of_string_opt (String.sub line i (!j - i))
+
+let close_pair s i =
+  let rec go j = if j >= String.length s || s.[j] = ']' then j else go (j + 1) in
+  go i
+
+(* Parse the "buckets":[[le,n],...] payload; "inf" encodes the overflow. *)
+let buckets_field line =
+  match find_field line "buckets" with
+  | None -> None
+  | Some i ->
+      let ll = String.length line in
+      let rec close j depth =
+        if j >= ll then j
+        else
+          match line.[j] with
+          | '[' -> close (j + 1) (depth + 1)
+          | ']' -> if depth = 1 then j else close (j + 1) (depth - 1)
+          | _ -> close (j + 1) depth
+      in
+      let stop = close i 0 in
+      let payload = String.sub line i (stop - i + 1) in
+      let pairs = ref [] in
+      let pos = ref 1 (* skip outer '[' *) in
+      let pl = String.length payload in
+      (try
+         while !pos < pl do
+           match payload.[!pos] with
+           | '[' ->
+               let e = close_pair payload (!pos + 1) in
+               let body = String.sub payload (!pos + 1) (e - !pos - 1) in
+               (match String.split_on_char ',' body with
+               | [ le; n ] ->
+                   let le =
+                     if le = "\"inf\"" then infinity
+                     else Option.value ~default:nan (float_of_string_opt le)
+                   in
+                   let n = Option.value ~default:0 (int_of_string_opt (String.trim n)) in
+                   pairs := (le, n) :: !pairs
+               | _ -> raise Exit);
+               pos := e + 1
+           | _ -> Stdlib.incr pos
+         done;
+         Some (List.rev !pairs)
+       with Exit -> None)
+
+let parse_event line =
+  match string_field line "ev" with
+  | Some "counter" -> (
+      match (string_field line "name", number_field line "value") with
+      | Some name, Some v -> Some (Counter_event { name; value = int_of_float v })
+      | _ -> None)
+  | Some "span" -> (
+      match (string_field line "name", number_field line "dur_s") with
+      | Some name, Some dur_s ->
+          Some
+            (Span_event
+               {
+                 name;
+                 dur_s;
+                 depth =
+                   (match number_field line "depth" with
+                   | Some d -> int_of_float d
+                   | None -> 0);
+                 err = find_field line "err" <> None;
+               })
+      | _ -> None)
+  | Some "histogram" -> (
+      match (string_field line "name", number_field line "count") with
+      | Some name, Some c ->
+          Some
+            (Histogram_event
+               {
+                 name;
+                 stats =
+                   {
+                     hs_count = int_of_float c;
+                     hs_sum = Option.value ~default:0. (number_field line "sum_s");
+                     hs_buckets = Option.value ~default:[] (buckets_field line);
+                   };
+               })
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,111 @@
+(** Process-wide telemetry: monotonic counters, duration histograms with
+    fixed log-scale buckets, and nested span tracing, feeding a pluggable
+    sink.
+
+    Everything is disabled by default.  Every record site checks the single
+    global flag first, and the disabled path allocates nothing — create
+    counters/histograms once at module-initialisation time and the hot-path
+    cost is a load, a test and (when enabled) an in-place mutation.
+
+    Metric keys follow [subsystem.event] — dots separate levels,
+    snake_case within a level (e.g. [sat.decisions],
+    [checking.cfd.kcfd_retries]). *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Monotonic counters} *)
+
+type counter
+
+val counter : ?doc:string -> string -> counter
+(** Create-or-find the counter registered under [name].  Counters are
+    process-global; calling twice with the same name returns the same
+    counter.  Intended to be called at module-initialisation time. *)
+
+val incr : counter -> unit
+(** Add one; no-op (and allocation-free) when telemetry is disabled. *)
+
+val add : counter -> int -> unit
+(** Add [n >= 0]; raises [Invalid_argument] on negative deltas (counters
+    are monotonic).  No-op when disabled. *)
+
+val count : counter -> int
+
+(** {1 Duration histograms} *)
+
+type histogram
+
+val bucket_bounds : float array
+(** Upper bounds of the fixed log-scale buckets, in seconds: two per decade
+    from 1µs to 100s; values above the last bound land in an overflow
+    bucket.  A value [v] lands in the first bucket with [v <= bound]. *)
+
+val histogram : string -> histogram
+(** Create-or-find, like {!counter}. *)
+
+val observe : histogram -> float -> unit
+(** Record one duration (seconds).  No-op when disabled. *)
+
+(** {1 Spans} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()], records the duration into the
+    histogram registered under [name], and emits a span event to the
+    current sink.  Nests; unwinds correctly when [f] raises (the span is
+    recorded with an error mark and the exception re-raised).  When
+    telemetry is disabled this is exactly [f ()]. *)
+
+val span_depth : unit -> int
+(** Current span nesting depth (0 outside any span). *)
+
+(** {1 Sinks} *)
+
+type sink =
+  | Null  (** discard span events; snapshots still accumulate *)
+  | Pretty of Format.formatter  (** human-readable, for [--trace] *)
+  | Jsonl of out_channel  (** one JSON object per line, for [--metrics] *)
+
+val set_sink : sink -> unit
+
+val flush_metrics : unit -> unit
+(** Write every registered counter and histogram to the current sink (one
+    JSON line each for [Jsonl]; a report block for [Pretty]). *)
+
+(** {1 Snapshots and reports} *)
+
+type histogram_stats = {
+  hs_count : int;
+  hs_sum : float;  (** seconds *)
+  hs_buckets : (float * int) list;  (** (upper bound, count); [infinity] = overflow *)
+}
+
+val counter_snapshot : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name. *)
+
+val histogram_snapshot : unit -> (string * histogram_stats) list
+val counter_docs : unit -> (string * string) list
+
+val reset : unit -> unit
+(** Zero every counter and histogram (registrations survive). *)
+
+val pp_report : Format.formatter -> unit -> unit
+
+val json_of_counters : ?label:string * string -> (string * int) list -> string
+(** One-line JSON object [{"counters":{...}}], optionally tagged with a
+    leading [label] key/value — the bench per-series metric blocks. *)
+
+(** {1 Parsing the JSON-lines format back} *)
+
+type event =
+  | Counter_event of { name : string; value : int }
+  | Histogram_event of { name : string; stats : histogram_stats }
+  | Span_event of { name : string; dur_s : float; depth : int; err : bool }
+
+val parse_event : string -> event option
+(** Parse one line previously written by the [Jsonl] sink.  Returns [None]
+    on anything else (it is a scanner for our own output, not a general
+    JSON parser). *)

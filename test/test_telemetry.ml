@@ -1,0 +1,289 @@
+open Conddep_generator
+open Conddep_consistency
+open Helpers
+
+(* The telemetry subsystem: counters, histograms, spans, JSON-lines sinks —
+   and the guard that instrumentation can never perturb a checker verdict. *)
+
+(* Each test owns the global telemetry state: start disabled and zeroed,
+   and leave it that way for whoever runs next. *)
+let with_clean_telemetry f =
+  Telemetry.reset ();
+  Telemetry.disable ();
+  Telemetry.set_sink Telemetry.Null;
+  Fun.protect ~finally:(fun () ->
+      Telemetry.reset ();
+      Telemetry.disable ();
+      Telemetry.set_sink Telemetry.Null)
+    f
+
+(* --- counters -------------------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.counter_a" in
+  Telemetry.enable ();
+  check_int "fresh counter is zero" 0 (Telemetry.count c);
+  Telemetry.incr c;
+  Telemetry.incr c;
+  Telemetry.add c 5;
+  check_int "2 incr + add 5" 7 (Telemetry.count c);
+  Alcotest.check_raises "negative delta rejected"
+    (Invalid_argument "Telemetry.add: counters are monotonic") (fun () ->
+      Telemetry.add c (-1));
+  check_int "unchanged after rejected add" 7 (Telemetry.count c);
+  (* create-or-find: same name, same counter *)
+  Telemetry.incr (Telemetry.counter "test.counter_a");
+  check_int "registry returns the same counter" 8 (Telemetry.count c)
+
+let test_disabled_records_nothing () =
+  with_clean_telemetry @@ fun () ->
+  let c = Telemetry.counter "test.counter_b" in
+  let h = Telemetry.histogram "test.hist_b" in
+  (* disabled: everything is a no-op *)
+  Telemetry.incr c;
+  Telemetry.add c 100;
+  Telemetry.observe h 0.5;
+  let ran = ref false in
+  let v = Telemetry.with_span "test.span_b" (fun () -> ran := true; 17) in
+  check_int "with_span still runs the body" 17 v;
+  check_bool "body executed" true !ran;
+  check_int "counter untouched" 0 (Telemetry.count c);
+  let stats = List.assoc "test.hist_b" (Telemetry.histogram_snapshot ()) in
+  check_int "histogram untouched" 0 stats.Telemetry.hs_count;
+  check_bool "no span histogram created"
+    true
+    (not (List.mem_assoc "test.span_b" (Telemetry.histogram_snapshot ())))
+
+(* --- histograms ------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  with_clean_telemetry @@ fun () ->
+  Telemetry.enable ();
+  let h = Telemetry.histogram "test.hist_buckets" in
+  let bounds = Telemetry.bucket_bounds in
+  check_int "two buckets per decade, 1e-6..1e2" 17 (Array.length bounds);
+  check_bool "first bound is 1us" true (abs_float (bounds.(0) -. 1e-6) < 1e-12);
+  check_bool "last bound is 100s" true (abs_float (bounds.(16) -. 100.) < 1e-9);
+  (* a value exactly on a bound lands in that bound's bucket (v <= bound) *)
+  Telemetry.observe h bounds.(3);
+  (* just above a bound -> next bucket *)
+  Telemetry.observe h (bounds.(3) *. 1.0001);
+  (* below the smallest bound -> first bucket *)
+  Telemetry.observe h 1e-9;
+  (* beyond the largest bound -> overflow bucket *)
+  Telemetry.observe h 1e6;
+  let stats = List.assoc "test.hist_buckets" (Telemetry.histogram_snapshot ()) in
+  check_int "total observations" 4 stats.Telemetry.hs_count;
+  let bucket i = snd (List.nth stats.Telemetry.hs_buckets i) in
+  check_int "boundary value in its own bucket" 1 (bucket 3);
+  check_int "epsilon above goes to the next bucket" 1 (bucket 4);
+  check_int "tiny value in the first bucket" 1 (bucket 0);
+  check_int "overflow bucket" 1 (bucket 17);
+  let le, _ = List.nth stats.Telemetry.hs_buckets 17 in
+  check_bool "overflow bound is infinity" true (le = infinity);
+  check_bool "sum accumulates" true (stats.Telemetry.hs_sum > 1e6 -. 1.)
+
+(* --- spans ----------------------------------------------------------------- *)
+
+let test_span_nesting_and_unwinding () =
+  with_clean_telemetry @@ fun () ->
+  Telemetry.enable ();
+  check_int "depth 0 outside" 0 (Telemetry.span_depth ());
+  let inner_depth = ref (-1) in
+  let v =
+    Telemetry.with_span "test.outer" (fun () ->
+        Telemetry.with_span "test.inner" (fun () ->
+            inner_depth := Telemetry.span_depth ();
+            3))
+  in
+  check_int "nested depth observed" 2 !inner_depth;
+  check_int "value passed through" 3 v;
+  check_int "depth restored" 0 (Telemetry.span_depth ());
+  (* exception unwinding: depth restored, duration still recorded *)
+  (try
+     Telemetry.with_span "test.raising" (fun () ->
+         ignore (Telemetry.with_span "test.raising_inner" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  check_int "depth restored after raise" 0 (Telemetry.span_depth ());
+  let stats = List.assoc "test.raising" (Telemetry.histogram_snapshot ()) in
+  check_int "raising span recorded" 1 stats.Telemetry.hs_count;
+  let stats = List.assoc "test.raising_inner" (Telemetry.histogram_snapshot ()) in
+  check_int "inner raising span recorded" 1 stats.Telemetry.hs_count
+
+(* --- JSON-lines sink round-trip -------------------------------------------- *)
+
+let test_jsonl_round_trip () =
+  with_clean_telemetry @@ fun () ->
+  Telemetry.enable ();
+  let c = Telemetry.counter "test.rt_counter" in
+  Telemetry.add c 42;
+  Telemetry.observe (Telemetry.histogram "test.rt_hist") 0.25;
+  let path = Filename.temp_file "telemetry_rt" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  Telemetry.set_sink (Telemetry.Jsonl oc);
+  ignore (Telemetry.with_span "test.rt_span" (fun () -> ()));
+  Telemetry.flush_metrics ();
+  Telemetry.set_sink Telemetry.Null;
+  close_out oc;
+  let ic = open_in path in
+  let events = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match Telemetry.parse_event line with
+       | Some ev -> events := ev :: !events
+       | None -> Alcotest.failf "unparseable line: %s" line
+     done
+   with End_of_file -> close_in ic);
+  let events = List.rev !events in
+  check_bool "at least span + counters + histograms" true (List.length events > 3);
+  let counter_val name =
+    List.find_map
+      (function
+        | Telemetry.Counter_event { name = n; value } when n = name -> Some value
+        | _ -> None)
+      events
+  in
+  check_bool "counter survives the round trip" true (counter_val "test.rt_counter" = Some 42);
+  let span =
+    List.find_map
+      (function
+        | Telemetry.Span_event { name = "test.rt_span"; dur_s; depth; err } ->
+            Some (dur_s, depth, err)
+        | _ -> None)
+      events
+  in
+  (match span with
+  | None -> Alcotest.fail "span event missing"
+  | Some (dur_s, depth, err) ->
+      check_bool "span duration sane" true (dur_s >= 0. && dur_s < 10.);
+      check_int "span depth" 0 depth;
+      check_bool "no error mark" false err);
+  let hist =
+    List.find_map
+      (function
+        | Telemetry.Histogram_event { name = "test.rt_hist"; stats } -> Some stats
+        | _ -> None)
+      events
+  in
+  match hist with
+  | None -> Alcotest.fail "histogram event missing"
+  | Some stats ->
+      check_int "histogram count survives" 1 stats.Telemetry.hs_count;
+      check_bool "histogram sum survives" true (abs_float (stats.hs_sum -. 0.25) < 1e-6);
+      check_int "all buckets present" 18 (List.length stats.hs_buckets);
+      (* 0.25s lands under the 10^-0.5 ≈ 0.316s bound; bounds round-trip
+         through decimal text, so compare with a tolerance *)
+      let target = Telemetry.bucket_bounds.(11) in
+      check_int "0.25s bucket holds the observation" 1
+        (List.fold_left
+           (fun acc (le, n) -> if abs_float (le -. target) < 1e-6 then acc + n else acc)
+           0 stats.hs_buckets)
+
+(* --- determinism guard ------------------------------------------------------ *)
+
+(* Enabling telemetry must not change any checker verdict: Checking uses
+   RNG-driven heuristics, and instrumentation draws nothing from them. *)
+let test_verdicts_unperturbed () =
+  with_clean_telemetry @@ fun () ->
+  let workload seed =
+    let rng = Rng.make seed in
+    let sconfig =
+      {
+        Schema_gen.default with
+        Schema_gen.num_relations = 5;
+        max_arity = 5;
+        finite_ratio = 0.4;
+        finite_dom_max = 8;
+      }
+    in
+    let schema = Schema_gen.generate rng sconfig in
+    let sigma =
+      Workload.random rng { Workload.default with Workload.num_constraints = 30 } schema
+    in
+    (schema, sigma)
+  in
+  let verdicts () =
+    List.map
+      (fun seed ->
+        let schema, sigma = workload seed in
+        match Checking.check ~k:5 ~rng:(Rng.make (seed + 1)) schema sigma with
+        | Checking.Consistent _ -> "consistent"
+        | Checking.Inconsistent -> "inconsistent"
+        | Checking.Unknown -> "unknown")
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let baseline = verdicts () in
+  (* telemetry on, JSON-lines sink attached *)
+  Telemetry.enable ();
+  let path = Filename.temp_file "telemetry_det" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  Telemetry.set_sink (Telemetry.Jsonl oc);
+  let instrumented = verdicts () in
+  Telemetry.set_sink Telemetry.Null;
+  close_out oc;
+  List.iteri
+    (fun i (a, b) ->
+      check_string (Printf.sprintf "verdict %d unchanged under telemetry" i) a b)
+    (List.combine baseline instrumented);
+  (* and the instrumentation did observe the work *)
+  check_bool "checking.calls counted" true
+    (List.assoc "checking.calls" (Telemetry.counter_snapshot ()) >= 8)
+
+(* --- registration from the instrumented libraries --------------------------- *)
+
+let test_instrumented_counters_registered () =
+  (* registration happens at module initialisation, so the module must be
+     linked — reference the detectors explicitly (nothing else here uses
+     them, and dune links only reachable modules) *)
+  ignore Conddep_cleaning.Detect.is_clean;
+  ignore Conddep_cleaning.Fast_detect.is_clean;
+  let names = List.map fst (Telemetry.counter_snapshot ()) in
+  List.iter
+    (fun key ->
+      check_bool (key ^ " registered") true (List.mem key names))
+    [
+      "sat.decisions";
+      "sat.propagations";
+      "sat.conflicts";
+      "chase.ind_steps";
+      "chase.fd_steps";
+      "chase.pool_picks";
+      "chase.threshold_hits";
+      "checking.cfd.kcfd_retries";
+      "checking.preprocess.sccs";
+      "checking.preprocess.pruned_indegree0";
+      "checking.random.runs";
+      "detect.naive.tuples_scanned";
+      "detect.fast.index_probes";
+    ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "monotonic" `Quick test_counter_monotonic;
+          Alcotest.test_case "disabled path records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "instrumented libraries register" `Quick
+            test_instrumented_counters_registered;
+        ] );
+      ( "histograms",
+        [ Alcotest.test_case "log-scale bucket boundaries" `Quick test_histogram_buckets ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and exception unwinding" `Quick
+            test_span_nesting_and_unwinding;
+        ] );
+      ( "sinks",
+        [ Alcotest.test_case "JSON-lines round trip" `Quick test_jsonl_round_trip ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "verdicts unchanged with sinks on" `Quick
+            test_verdicts_unperturbed;
+        ] );
+    ]
