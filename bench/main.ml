@@ -5,9 +5,14 @@
      dune exec bench/main.exe                 # quick sweeps, everything
      dune exec bench/main.exe -- --full       # paper-scale sweeps
      dune exec bench/main.exe -- fig10a micro # selected sections only
+     dune exec bench/main.exe -- --timeout 30 # per-series deadline (secs)
 
    Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
-             ablation-n ablation-backend micro *)
+             ablation-n ablation-backend micro
+
+   With --timeout, a series point that exceeds the deadline stops early
+   and emits a `"timeout": true` metrics row instead of silently skewed
+   numbers. *)
 
 let sections =
   [
@@ -28,6 +33,22 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let scale = if full then Workloads.Full else Workloads.Quick in
+  let rec strip_timeout = function
+    | [] -> []
+    | [ "--timeout" ] ->
+        Fmt.epr "--timeout needs an argument (seconds)@.";
+        exit 2
+    | "--timeout" :: secs :: rest -> (
+        match float_of_string_opt secs with
+        | Some t when t > 0. ->
+            Util.series_timeout := Some t;
+            strip_timeout rest
+        | _ ->
+            Fmt.epr "--timeout expects a positive number of seconds, got %S@." secs;
+            exit 2)
+    | a :: rest -> a :: strip_timeout rest
+  in
+  let args = strip_timeout args in
   let wanted = List.filter (fun a -> a <> "--full") args in
   let selected =
     if wanted = [] then sections

@@ -192,7 +192,10 @@ let undecidable_row () =
   let describe = function
     | Conddep_consistency.Checking.Consistent _ -> "consistent (witness found)"
     | Conddep_consistency.Checking.Inconsistent -> "inconsistent (graph emptied)"
-    | Conddep_consistency.Checking.Unknown -> "unknown (no witness found)"
+    | Conddep_consistency.Checking.Unknown Guard.Fuel ->
+        "unknown (no witness found)"
+    | Conddep_consistency.Checking.Unknown r ->
+        "unknown (" ^ Guard.reason_to_string r ^ ")"
   in
   row "Example 4.2 (truly inconsistent): %s in %.4fs@." (describe r42) s42;
   let bank = Sigma.normalize B.sigma in

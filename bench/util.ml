@@ -37,9 +37,26 @@ let counter_diff before after =
       if v > v0 then Some (name, v - v0) else None)
     after
 
+(* Optional per-series wall-clock bound (`--timeout SECS` on the harness):
+   each series point runs under its own deadline budget, scoped as the
+   ambient one so every engine underneath inherits it.  A series that hits
+   the deadline is reported as an explicit `"timeout": true` metrics row
+   rather than silently shortened numbers. *)
+let series_timeout : float option ref = ref None
+
 let with_series_metrics label f =
   let before = Telemetry.counter_snapshot () in
-  let r = f () in
+  (match !series_timeout with
+  | None -> f ()
+  | Some timeout_s ->
+      let b = Guard.make ~timeout_s () in
+      (match Guard.with_ambient b (fun () -> Guard.run b f) with
+      | Ok () -> ()
+      | Error _ -> ());
+      (match Guard.state b with
+      | None -> ()
+      | Some r ->
+          Fmt.pr "  metrics {\"series\": %S, \"timeout\": true, \"reason\": %S}@."
+            label (Guard.reason_to_string r)));
   let diff = counter_diff before (Telemetry.counter_snapshot ()) in
-  Fmt.pr "  metrics %s@." (Telemetry.json_of_counters ~label:("series", label) diff);
-  r
+  Fmt.pr "  metrics %s@." (Telemetry.json_of_counters ~label:("series", label) diff)

@@ -4,21 +4,25 @@
      cindtool parse data/bank.cind
      cindtool normalize data/bank.cind
      cindtool check-consistency data/bank.cind
-     cindtool violations data/bank.cind [--repair]
+     cindtool violations data/bank.cind [--repair] [--csv REL=FILE]
      cindtool implies data/bank.cind psi3
      cindtool witness data/bank.cind
+     cindtool gen --relations 20 --constraints 240
 
-   Global observability flags (accepted anywhere on the command line):
+   Global flags (accepted anywhere on the command line):
 
      cindtool --metrics out.jsonl check-consistency data/bank.cind
      cindtool --trace violations data/bank.cind
+     cindtool --timeout 5 check-consistency data/bank.cind
+     cindtool --fuel 100000 implies data/bank.cind psi3
      cindtool stats out.jsonl
 
    Exit codes are uniform across subcommands:
      0 — decided / ok (consistent, clean, implied, proof found)
      1 — negative finding (inconsistent, violations found, not implied)
-     2 — usage or parse error
-     3 — undetermined (heuristic gave up / budget exceeded) or internal error *)
+     2 — usage or parse error, or internal error
+     3 — undetermined: heuristic gave up, or a resource budget
+         (--timeout / --fuel) was exhausted; the reason is on stderr *)
 
 open Cmdliner
 open Conddep_relational
@@ -37,11 +41,12 @@ let exits =
     Cmd.Exit.info exit_ok ~doc:"decided / ok: consistent, clean, implied, proof found.";
     Cmd.Exit.info exit_negative
       ~doc:"negative finding: inconsistent, violations found, not implied.";
-    Cmd.Exit.info exit_usage ~doc:"usage or parse error.";
+    Cmd.Exit.info exit_usage ~doc:"usage, parse, or internal error.";
     Cmd.Exit.info exit_undetermined
       ~doc:
-        "undetermined (heuristic gave up within its budgets) or internal \
-         error.";
+        "undetermined: the heuristic gave up within its budgets, or a \
+         resource budget ($(b,--timeout), $(b,--fuel)) was exhausted — the \
+         exhaustion reason is printed on stderr.";
   ]
 
 let load path =
@@ -120,8 +125,14 @@ let check_run path seed k backend =
   | Conddep_consistency.Checking.Inconsistent ->
       Fmt.pr "inconsistent (dependency-graph reduction emptied the graph)@.";
       exit_negative
-  | Conddep_consistency.Checking.Unknown ->
+  | Conddep_consistency.Checking.Unknown Guard.Fuel
+    when Guard.state (Guard.ambient ()) = None ->
+      (* the paper's own K / K_CFD budgets ran out; no external limit hit *)
       Fmt.pr "unknown — no witness found within the budgets (heuristic)@.";
+      exit_undetermined
+  | Conddep_consistency.Checking.Unknown r ->
+      Fmt.pr "unknown — search cut short: %s@." (Guard.reason_to_string r);
+      Fmt.epr "cindtool: resource budget exhausted (%s)@." (Guard.reason_to_string r);
       exit_undetermined
 
 let check_term = Term.(const check_run $ file_arg $ seed_arg $ k_arg $ backend_arg)
@@ -139,8 +150,48 @@ let check_consistency_cmd =
 let repair_arg =
   Arg.(value & flag & info [ "repair" ] ~doc:"Apply suggested repairs and re-check.")
 
+let csv_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "csv" ] ~docv:"REL=FILE"
+        ~doc:
+          "Load relation $(i,REL) from CSV file $(i,FILE) (repeatable), \
+           replacing any instance declared in the constraint file.  \
+           Malformed CSV aborts with exit code 2 and a file:line \
+           diagnostic.")
+
+(* REL=FILE pairs from --csv, loaded against the schema; any error is fatal
+   with a file:line position. *)
+let load_csvs schema specs db =
+  List.fold_left
+    (fun db spec ->
+      match String.index_opt spec '=' with
+      | None ->
+          Fmt.epr "cindtool: --csv expects REL=FILE, got %S@." spec;
+          exit exit_usage
+      | Some i ->
+          let rel = String.sub spec 0 i in
+          let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+          let rel_schema =
+            match Db_schema.find_opt schema rel with
+            | Some s -> s
+            | None ->
+                Fmt.epr "cindtool: --csv: no relation %S in the schema@." rel;
+                exit exit_usage
+          in
+          (match Csv.load rel_schema file with
+          | Ok r -> Database.set_relation db r
+          | Error msg ->
+              Fmt.epr "%s: %s@." file msg;
+              exit exit_usage
+          | exception Sys_error msg ->
+              Fmt.epr "cindtool: %s@." msg;
+              exit exit_usage))
+    db specs
+
 let violations_cmd =
-  let run path repair =
+  let run path repair csvs =
     let doc = load path in
     let db =
       match Parser.database doc with
@@ -149,6 +200,7 @@ let violations_cmd =
           Fmt.epr "instance error: %s@." msg;
           exit exit_usage
     in
+    let db = load_csvs doc.Parser.schema csvs db in
     let nf = Sigma.normalize doc.Parser.sigma in
     let report = Conddep_cleaning.Report.build db nf in
     Fmt.pr "%a@." Conddep_cleaning.Report.pp report;
@@ -164,8 +216,10 @@ let violations_cmd =
   in
   Cmd.v
     (Cmd.info "violations" ~exits
-       ~doc:"Detect (and optionally repair) violations in the declared instances.")
-    Term.(const run $ file_arg $ repair_arg)
+       ~doc:
+         "Detect (and optionally repair) violations in the declared or \
+          CSV-loaded instances.")
+    Term.(const run $ file_arg $ repair_arg $ csv_arg)
 
 (* --- implies ----------------------------------------------------------------- *)
 
@@ -198,6 +252,12 @@ let implies_cmd =
                 max code exit_negative
             | exception Implication.Budget_exceeded ->
                 Fmt.pr "%a@.  undetermined: search budget exceeded@." Cind.pp_nf g;
+                max code exit_undetermined
+            | exception Guard.Exhausted r ->
+                Fmt.pr "%a@.  undetermined: %s@." Cind.pp_nf g
+                  (Guard.reason_to_string r);
+                Fmt.epr "cindtool: resource budget exhausted (%s)@."
+                  (Guard.reason_to_string r);
                 max code exit_undetermined)
           exit_ok goals
   in
@@ -311,6 +371,91 @@ let witness_cmd =
        ~doc:"Build the cross-product witness database for the file's CINDs (Thm 3.2).")
     Term.(const run $ file_arg)
 
+(* --- gen --------------------------------------------------------------------- *)
+
+(* Random schema + workload in .cind syntax (the experimental setting of
+   Section 6), mainly to produce reproducible hard inputs for the
+   robustness smoke tests. *)
+let gen_cmd =
+  let run seed relations constraints profile =
+    let rng = Rng.make seed in
+    let sconfig =
+      match profile with
+      | `Random | `Consistent ->
+          { Conddep_generator.Schema_gen.default with num_relations = relations }
+      | `Needle ->
+          (* every attribute finite with tiny domains, as in the Fig 10(b)
+             experiment: the valuation space is dense with conflicts *)
+          (* arities and domains kept small enough that each relation's
+             secret is findable within K_CFD tries (so preProcessing does
+             not just prune the graph) while the joint valuation across
+             relations stays out of reach of random search *)
+          {
+            Conddep_generator.Schema_gen.num_relations = relations;
+            min_arity = 3;
+            max_arity = 5;
+            finite_ratio = 1.0;
+            finite_dom_min = 2;
+            finite_dom_max = 2;
+          }
+    in
+    let schema = Conddep_generator.Schema_gen.generate rng sconfig in
+    let wconfig =
+      { Conddep_generator.Workload.default with num_constraints = constraints }
+    in
+    let nf =
+      match profile with
+      | `Random -> Conddep_generator.Workload.random rng wconfig schema
+      | `Consistent -> Conddep_generator.Workload.consistent rng wconfig schema
+      | `Needle ->
+          (* The Fig 10(b) needle family — per relation (almost) one
+             satisfying finite-domain assignment, defeating bounded-K_CFD
+             valuation search — joined with pattern-free CINDs so that every
+             witness tuple triggers an inclusion and preProcessing cannot
+             settle the answer on its own.  Deliberately adversarial: used
+             by the robustness smoke tests to exercise --timeout / --fuel. *)
+          let needles = Conddep_generator.Workload.needle_cfds rng schema in
+          let cind_config = { wconfig with max_pattern = 0 } in
+          let n_cinds = max 1 (constraints / 4) in
+          let cinds =
+            List.init n_cinds
+              (Conddep_generator.Workload.gen_cind rng cind_config schema
+                 ~consistent:false)
+          in
+          { needles with Sigma.ncinds = cinds }
+    in
+    let doc =
+      { Parser.schema; sigma = Sigma.of_nf nf; instances = [] }
+    in
+    Fmt.pr "%s" (Printer.document_to_string doc);
+    exit_ok
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (enum [ ("random", `Random); ("consistent", `Consistent); ("needle", `Needle) ]) `Random
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Workload family: $(b,random) (may conflict), $(b,consistent) \
+             (satisfiable by construction), or $(b,needle) (adversarial: \
+             near-unique satisfying valuations, defeats bounded random \
+             search).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~exits
+       ~doc:
+         "Generate a random schema and constraint set (Section 6 workload) \
+          in .cind syntax on stdout.")
+    Term.(
+      const run $ seed_arg
+      $ Arg.(
+          value & opt int 20
+          & info [ "relations" ] ~docv:"N" ~doc:"Number of relations.")
+      $ Arg.(
+          value & opt int 100
+          & info [ "constraints" ] ~docv:"N" ~doc:"Number of constraints.")
+      $ profile_arg)
+
 (* --- stats ------------------------------------------------------------------- *)
 
 (* Aggregate a metrics JSON-lines file written by --metrics: last value per
@@ -379,24 +524,74 @@ let stats_cmd =
           & pos 0 (some file) None
           & info [] ~docv:"METRICS" ~doc:"JSON-lines metrics file."))
 
-(* --- telemetry flags --------------------------------------------------------- *)
+(* --- global flags ------------------------------------------------------------ *)
 
-(* --trace / --metrics FILE are global: they may appear before or after the
-   subcommand name.  Cmdliner selects the subcommand from the first
-   positional token, which would misread `--metrics out.jsonl check ...`
-   (space-separated option values are ambiguous at selection time), so the
-   flags are stripped from argv before cmdliner sees it. *)
-let extract_telemetry argv =
-  let rec go acc trace metrics = function
-    | [] -> Ok (List.rev acc, trace, metrics)
-    | "--trace" :: rest -> go acc true metrics rest
-    | [ "--metrics" ] -> Error "option --metrics needs an argument"
-    | "--metrics" :: path :: rest -> go acc trace (Some path) rest
-    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
-        go acc trace (Some (String.sub arg 10 (String.length arg - 10))) rest
-    | arg :: rest -> go (arg :: acc) trace metrics rest
+(* --trace / --metrics FILE / --timeout SECS / --fuel N are global: they may
+   appear before or after the subcommand name.  Cmdliner selects the
+   subcommand from the first positional token, which would misread
+   `--metrics out.jsonl check ...` (space-separated option values are
+   ambiguous at selection time), so the flags are stripped from argv before
+   cmdliner sees it. *)
+type globals = {
+  g_rest : string list;
+  g_trace : bool;
+  g_metrics : string option;
+  g_timeout : float option;
+  g_fuel : int option;
+}
+
+let extract_globals argv =
+  let split_eq prefix arg =
+    let n = String.length prefix in
+    if String.length arg > n && String.sub arg 0 n = prefix then
+      Some (String.sub arg n (String.length arg - n))
+    else None
   in
-  go [] false None argv
+  let timeout_of s =
+    match float_of_string_opt s with
+    | Some t when t > 0. -> Ok (Some t)
+    | _ -> Error (Printf.sprintf "--timeout expects a positive number of seconds, got %S" s)
+  in
+  let fuel_of s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok (Some n)
+    | _ -> Error (Printf.sprintf "--fuel expects a positive step count, got %S" s)
+  in
+  let rec go g = function
+    | [] -> Ok { g with g_rest = List.rev g.g_rest }
+    | "--trace" :: rest -> go { g with g_trace = true } rest
+    | [ "--metrics" ] -> Error "option --metrics needs an argument"
+    | "--metrics" :: path :: rest -> go { g with g_metrics = Some path } rest
+    | [ "--timeout" ] -> Error "option --timeout needs an argument"
+    | "--timeout" :: secs :: rest -> (
+        match timeout_of secs with
+        | Ok t -> go { g with g_timeout = t } rest
+        | Error _ as e -> e)
+    | [ "--fuel" ] -> Error "option --fuel needs an argument"
+    | "--fuel" :: n :: rest -> (
+        match fuel_of n with
+        | Ok f -> go { g with g_fuel = f } rest
+        | Error _ as e -> e)
+    | arg :: rest -> (
+        match split_eq "--metrics=" arg with
+        | Some path -> go { g with g_metrics = Some path } rest
+        | None -> (
+            match split_eq "--timeout=" arg with
+            | Some secs -> (
+                match timeout_of secs with
+                | Ok t -> go { g with g_timeout = t } rest
+                | Error _ as e -> e)
+            | None -> (
+                match split_eq "--fuel=" arg with
+                | Some n -> (
+                    match fuel_of n with
+                    | Ok f -> go { g with g_fuel = f } rest
+                    | Error _ as e -> e)
+                | None -> go { g with g_rest = arg :: g.g_rest } rest)))
+  in
+  go
+    { g_rest = []; g_trace = false; g_metrics = None; g_timeout = None; g_fuel = None }
+    argv
 
 let setup_telemetry ~trace ~metrics =
   if trace || metrics <> None then Telemetry.enable ();
@@ -410,6 +605,10 @@ let setup_telemetry ~trace ~metrics =
           close_out oc)
   | None -> if trace then Telemetry.set_sink (Telemetry.Pretty Fmt.stderr));
   if trace then at_exit (fun () -> Telemetry.pp_report Fmt.stderr ())
+
+let setup_guard ~timeout ~fuel =
+  if timeout <> None || fuel <> None then
+    Guard.set_ambient (Guard.make ?timeout_s:timeout ?fuel ())
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -425,35 +624,59 @@ let () =
          telemetry and writes span events plus a final counter/histogram \
          snapshot to $(i,FILE) as JSON-lines; summarize it with $(b,cindtool \
          stats) $(i,FILE).";
+      `P
+        "$(b,--timeout) $(i,SECS) (anywhere on the command line) bounds the \
+         whole invocation by a wall-clock deadline; when it passes, the \
+         command stops promptly, prints the reason on stderr and exits with \
+         code 3.";
+      `P
+        "$(b,--fuel) $(i,N) (anywhere on the command line) bounds the whole \
+         invocation by a deterministic step budget (decision-procedure \
+         steps); exhaustion behaves like $(b,--timeout) but is reproducible \
+         across machines.";
     ]
   in
   let info =
     Cmd.info "cindtool" ~version:"1.0.0" ~exits ~man
       ~doc:"Reasoning about conditional inclusion and functional dependencies."
   in
-  match extract_telemetry (List.tl (Array.to_list Sys.argv)) with
+  match extract_globals (List.tl (Array.to_list Sys.argv)) with
   | Error msg ->
       Fmt.epr "cindtool: %s@." msg;
       exit exit_usage
-  | Ok (rest, trace, metrics) ->
-      setup_telemetry ~trace ~metrics;
-      let argv = Array.of_list (Sys.argv.(0) :: rest) in
+  | Ok g ->
+      setup_telemetry ~trace:g.g_trace ~metrics:g.g_metrics;
+      setup_guard ~timeout:g.g_timeout ~fuel:g.g_fuel;
+      let argv = Array.of_list (Sys.argv.(0) :: g.g_rest) in
+      let group =
+        Cmd.group info
+          [
+            parse_cmd;
+            normalize_cmd;
+            check_cmd;
+            check_consistency_cmd;
+            violations_cmd;
+            implies_cmd;
+            prove_cmd;
+            logic_cmd;
+            cover_cmd;
+            witness_cmd;
+            gen_cmd;
+            stats_cmd;
+          ]
+      in
+      (* No OCaml exception escapes: budget exhaustion anywhere in an engine
+         is exit 3 with the structured reason on stderr; anything else is an
+         internal error, exit 2. *)
       let code =
-        Cmd.eval' ~argv
-          (Cmd.group info
-             [
-               parse_cmd;
-               normalize_cmd;
-               check_cmd;
-               check_consistency_cmd;
-               violations_cmd;
-               implies_cmd;
-               prove_cmd;
-               logic_cmd;
-               cover_cmd;
-               witness_cmd;
-               stats_cmd;
-             ])
+        try Cmd.eval' ~catch:false ~argv group with
+        | Guard.Exhausted r ->
+            Fmt.epr "cindtool: resource budget exhausted (%s)@."
+              (Guard.reason_to_string r);
+            exit_undetermined
+        | e ->
+            Fmt.epr "cindtool: internal error: %s@." (Printexc.to_string e);
+            exit_usage
       in
       (* cmdliner's CLI-error code is 124; fold it into the uniform scheme *)
-      exit (if code = 124 || code = 123 then exit_usage else code)
+      exit (if code = 124 || code = 123 || code = 125 then exit_usage else code)

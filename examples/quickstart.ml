@@ -76,7 +76,7 @@ let () =
   | Conddep_consistency.Checking.Consistent witness ->
       Fmt.pr "@.sigma is consistent; witness:@.%a@." Database.pp witness
   | Conddep_consistency.Checking.Inconsistent -> Fmt.pr "sigma is inconsistent@."
-  | Conddep_consistency.Checking.Unknown -> Fmt.pr "consistency unknown@.");
+  | Conddep_consistency.Checking.Unknown _ -> Fmt.pr "consistency unknown@.");
 
   (* 6. Implication: the CIND restricted to a smaller Yp is implied. *)
   let weakened =

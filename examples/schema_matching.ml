@@ -36,7 +36,7 @@ let () =
   | Conddep_consistency.Checking.Consistent _ ->
       Fmt.pr "constraint set is consistent: safe to derive mappings@.@."
   | Conddep_consistency.Checking.Inconsistent -> failwith "constraints are inconsistent"
-  | Conddep_consistency.Checking.Unknown ->
+  | Conddep_consistency.Checking.Unknown _ ->
       Fmt.pr "consistency unknown; proceeding cautiously@.@.");
 
   (* The source-to-target CINDs (account_* on the left) are the matches. *)

@@ -37,6 +37,7 @@ let default_config = { pool_size = 2; threshold = 2000; max_steps = 20_000 }
 type outcome =
   | Terminal of Template.t
   | Undefined of string
+  | Exhausted of Guard.reason
 
 (* --- compiled constraints (attribute names resolved to positions) --- *)
 
@@ -170,29 +171,37 @@ let fd_step cfd db =
   in
   pairs tuples
 
-(* Chase with CFDs only, to fixpoint. *)
-let fd_fixpoint ?(max_steps = 10_000) cfds db =
-  let rec go db steps =
-    if steps > max_steps then begin
-      Telemetry.incr m_budget_exceeded;
-      Undefined "FD fixpoint budget exceeded"
-    end
-    else
-      let rec try_cfds = function
-        | [] -> Terminal db
-        | cfd :: rest -> (
-            match fd_step cfd db with
-            | Fd_changed db' ->
-                Telemetry.incr m_fd_steps;
-                go db' (steps + 1)
-            | Fd_unchanged -> try_cfds rest
-            | Fd_undefined why ->
-                Telemetry.incr m_fd_undefined;
-                Undefined why)
-      in
-      try_cfds cfds
+(* Chase with CFDs only, to fixpoint.  The step bound is local fuel: its
+   exhaustion means this particular fixpoint attempt gave up, which callers
+   may absorb (a failed heuristic attempt); shared-budget exhaustion also
+   surfaces as [Exhausted] but with the shared budget marked spent, which
+   callers must propagate (Guard.recoverable makes the distinction). *)
+let fd_fixpoint ?budget ?(max_steps = 10_000) cfds db =
+  let budget = Guard.resolve budget in
+  let fuel = Guard.make ~fuel:max_steps () in
+  let rec go db =
+    let rec try_cfds = function
+      | [] -> Terminal db
+      | cfd :: rest -> (
+          match fd_step cfd db with
+          | Fd_changed db' ->
+              Telemetry.incr m_fd_steps;
+              Guard.tick fuel;
+              Guard.tick budget;
+              go db'
+          | Fd_unchanged -> try_cfds rest
+          | Fd_undefined why ->
+              Telemetry.incr m_fd_undefined;
+              Undefined why)
+    in
+    try_cfds cfds
   in
-  go db 0
+  try
+    Guard.probe ~budget "chase.fd_fixpoint";
+    go db
+  with Guard.Exhausted r ->
+    Telemetry.incr m_budget_exceeded;
+    Exhausted r
 
 (* --- IND(ψ) --- *)
 
@@ -260,33 +269,42 @@ let ind_step ~instantiated ~threshold pool rng schema cind db =
 (* The terminal chase: apply FD and IND operations until fixpoint.  With
    [instantiated] set this is chase_I of Section 5.2 (bounded relations,
    constants for finite-domain fields). *)
-let run ?(instantiated = false) ~config ~rng schema compiled db =
+let run ?(instantiated = false) ?budget ~config ~rng schema compiled db =
   Telemetry.incr m_runs;
+  let budget = Guard.resolve budget in
   Telemetry.with_span "chase.run" @@ fun () ->
   let pool = Pool.make ~n:config.pool_size in
-  let rec go db steps =
-    if steps > config.max_steps then begin
-      Telemetry.incr m_budget_exceeded;
-      Undefined "chase step budget exceeded"
-    end
-    else
-      match fd_fixpoint ~max_steps:config.max_steps compiled.cfds db with
-      | Undefined why -> Undefined why
-      | Terminal db ->
-          let rec try_cinds = function
-            | [] -> Terminal db
-            | cind :: rest -> (
-                match
-                  ind_step ~instantiated ~threshold:config.threshold pool rng schema cind
-                    db
-                with
-                | Ind_changed db' -> go db' (steps + 1)
-                | Ind_unchanged -> try_cinds rest
-                | Ind_overflow why -> Undefined why)
-          in
-          try_cinds compiled.cinds
+  (* config.max_steps is local fuel for the IND loop, replacing the bare
+     step counter; each iteration also polls the shared budget's clock
+     (chase steps are heavy, so a lazy poll would overshoot deadlines). *)
+  let fuel = Guard.make ~fuel:config.max_steps () in
+  let rec go db =
+    Guard.check budget;
+    match fd_fixpoint ~budget ~max_steps:config.max_steps compiled.cfds db with
+    | Undefined why -> Undefined why
+    | Exhausted r -> Exhausted r
+    | Terminal db ->
+        let rec try_cinds = function
+          | [] -> Terminal db
+          | cind :: rest -> (
+              match
+                ind_step ~instantiated ~threshold:config.threshold pool rng schema cind
+                  db
+              with
+              | Ind_changed db' ->
+                  Guard.tick fuel;
+                  go db'
+              | Ind_unchanged -> try_cinds rest
+              | Ind_overflow why -> Undefined why)
+        in
+        try_cinds compiled.cinds
   in
-  go db 0
+  try
+    Guard.probe ~budget "chase.run";
+    go db
+  with Guard.Exhausted r ->
+    Telemetry.incr m_budget_exceeded;
+    Exhausted r
 
 (* Apply a random valuation ρ to every remaining finite-domain variable
    (the paper's ρ(D)).  When [avoid] lists the constants of Σ, values

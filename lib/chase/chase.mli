@@ -23,6 +23,9 @@ val default_config : config
 type outcome =
   | Terminal of Template.t  (** the chase result chase(D, Σ) *)
   | Undefined of string  (** chase undefined; carries the reason *)
+  | Exhausted of Guard.reason
+      (** the step fuel, the shared budget or an armed fault stopped the
+          chase before a fixpoint; the result is unknown, not undefined *)
 
 (** {1 Compiled constraints} *)
 
@@ -44,8 +47,12 @@ type fd_result =
 val fd_step : compiled_cfd -> Template.t -> fd_result
 (** One FD(φ) application to the first violating pair, if any. *)
 
-val fd_fixpoint : ?max_steps:int -> compiled_cfd list -> Template.t -> outcome
-(** Chase with CFDs only, to fixpoint — the core of CFD_Checking. *)
+val fd_fixpoint :
+  ?budget:Guard.t -> ?max_steps:int -> compiled_cfd list -> Template.t -> outcome
+(** Chase with CFDs only, to fixpoint — the core of CFD_Checking.
+    [max_steps] is a local fuel bound (exhaustion yields
+    [Exhausted Guard.Fuel]); [budget] (default: ambient) is the shared
+    deadline/fuel/cancellation budget. *)
 
 type ind_result =
   | Ind_changed of Template.t
@@ -67,13 +74,16 @@ val ind_step :
 
 val run :
   ?instantiated:bool ->
+  ?budget:Guard.t ->
   config:config ->
   rng:Rng.t ->
   Db_schema.t ->
   compiled ->
   Template.t ->
   outcome
-(** Run the chase to termination.  [instantiated:true] gives chase_I. *)
+(** Run the chase to termination.  [instantiated:true] gives chase_I.
+    [config.max_steps] is enforced as local step fuel; [budget] carries the
+    caller's shared deadline/fuel. *)
 
 val conclusion_constants :
   Db_schema.t -> compiled_cfd list -> ((string * string) * Value.t) list

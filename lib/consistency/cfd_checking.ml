@@ -27,9 +27,16 @@ let m_sat_calls = Telemetry.counter "checking.cfd.sat_backend_calls" ~doc:"singl
 
 (* --- chase-based CFD_Checking on an arbitrary template --- *)
 
-let check_template ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
+let check_template ?budget ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
   Telemetry.incr m_calls;
-  match Chase.fd_fixpoint compiled_cfds db with
+  let budget = Guard.resolve budget in
+  Guard.probe ~budget "checking.cfd";
+  (* Local exhaustion of the fd-fixpoint's step fuel counts as a failed
+     attempt (the heuristic gives up, as with K_CFD); exhaustion of the
+     shared budget — or an injected fault — must surface to the caller. *)
+  match Chase.fd_fixpoint ~budget compiled_cfds db with
+  | Chase.Exhausted r when Guard.recoverable ~shared:budget r -> None
+  | Chase.Exhausted r -> raise (Guard.Exhausted r)
   | Chase.Undefined _ -> None
   | Chase.Terminal db -> (
       match Template.finite_variables db with
@@ -45,22 +52,28 @@ let check_template ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
               demanded
           in
           let rec attempts k =
-            if k <= 0 then None
+            if k <= 0 then begin
+              Guard.reraise_if_spent budget;
+              None
+            end
             else
               let () = Telemetry.incr m_kcfd_retries in
               let candidate = Chase.instantiate_finite_vars ~prefer ~avoid rng db in
-              match Chase.fd_fixpoint compiled_cfds candidate with
+              match Chase.fd_fixpoint ~budget compiled_cfds candidate with
               | Chase.Terminal done_db when Template.finite_variables done_db = [] ->
                   Some done_db
               | Chase.Terminal _ | Chase.Undefined _ -> attempts (k - 1)
+              | Chase.Exhausted r when Guard.recoverable ~shared:budget r ->
+                  attempts (k - 1)
+              | Chase.Exhausted r -> raise (Guard.Exhausted r)
           in
           attempts k_cfd)
 
 (* Single-relation consistency via the chase backend: start from the
    single-tuple template τ(R). *)
-let consistent_rel_chase ?k_cfd ?avoid ~rng schema cfds ~rel =
+let consistent_rel_chase ?budget ?k_cfd ?avoid ~rng schema cfds ~rel =
   let compiled = List.map (Chase.compile_cfd schema) cfds in
-  check_template ?k_cfd ?avoid ~rng compiled (Chase.seed_tuple schema ~rel)
+  check_template ?budget ?k_cfd ?avoid ~rng compiled (Chase.seed_tuple schema ~rel)
 
 (* --- SAT-based CFD_Checking --- *)
 
@@ -147,11 +160,16 @@ let encode ~avoid cfds rel_schema =
     cfds;
   (Cnf.make ~num_vars:!num_vars !clauses, cands, var_of)
 
-let consistent_rel_sat ?(avoid = []) schema cfds ~rel =
+let consistent_rel_sat ?budget ?(avoid = []) schema cfds ~rel =
   let rel_schema = Db_schema.find schema rel in
   let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
   let cnf, cands, var_of = encode ~avoid cfds rel_schema in
-  match Solver.solve cnf with
+  match Solver.solve ?budget cnf with
+  | Solver.Unknown r ->
+      (* [None] means "definitely inconsistent" to callers (preProcessing
+         prunes the relation on it) — an undetermined SAT answer must never
+         be collapsed into it. *)
+      raise (Guard.Exhausted r)
   | Solver.Unsat -> None
   | Solver.Sat model ->
       let arity = Schema.arity rel_schema in
@@ -165,18 +183,18 @@ let consistent_rel_sat ?(avoid = []) schema cfds ~rel =
 
 (* Uniform front-end on the single-tuple problem: a satisfying template
    tuple, with finite-domain fields concrete, or None. *)
-let consistent_rel ?(backend = Chase_backend) ?avoid ?k_cfd ~rng schema cfds ~rel =
+let consistent_rel ?(backend = Chase_backend) ?budget ?avoid ?k_cfd ~rng schema cfds ~rel =
   match backend with
   | Chase_backend -> (
       Telemetry.incr m_chase_calls;
       let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
-      match consistent_rel_chase ?k_cfd ?avoid ~rng schema cfds ~rel with
+      match consistent_rel_chase ?budget ?k_cfd ?avoid ~rng schema cfds ~rel with
       | None -> None
       | Some db -> (
           match Template.tuples db rel with [ t ] -> Some t | _ -> assert false))
   | Sat_backend -> (
       Telemetry.incr m_sat_calls;
-      match consistent_rel_sat ?avoid schema cfds ~rel with
+      match consistent_rel_sat ?budget ?avoid schema cfds ~rel with
       | None -> None
       | Some tuple ->
           Some (Array.map (fun v -> Template.C v) (Array.of_list (Tuple.to_list tuple))))

@@ -12,6 +12,7 @@ type backend =
   | Sat_backend
 
 val check_template :
+  ?budget:Guard.t ->
   ?k_cfd:int ->
   ?avoid:Value.t list ->
   rng:Rng.t ->
@@ -20,9 +21,13 @@ val check_template :
   Template.t option
 (** Chase a template with CFDs only, then try up to [k_cfd] random
     valuations of the remaining finite-domain variables; returns a template
-    whose finite-domain variables are all constants, if one is found. *)
+    whose finite-domain variables are all constants, if one is found.
+    @raise Guard.Exhausted when the shared [budget] (default: ambient) runs
+    dry or an armed fault fires; local step-fuel exhaustion of the
+    fixpoint is swallowed as a failed attempt. *)
 
 val consistent_rel_chase :
+  ?budget:Guard.t ->
   ?k_cfd:int ->
   ?avoid:Value.t list ->
   rng:Rng.t ->
@@ -33,12 +38,16 @@ val consistent_rel_chase :
 (** [check_template] starting from the single-tuple template τ(rel). *)
 
 val consistent_rel_sat :
+  ?budget:Guard.t ->
   ?avoid:Value.t list -> Db_schema.t -> Cfd.nf list -> rel:string -> Tuple.t option
 (** Complete single-tuple consistency via CNF encoding; a satisfying tuple
-    or [None].  Fresh values additionally dodge the [avoid] constants. *)
+    or [None].  Fresh values additionally dodge the [avoid] constants.
+    @raise Guard.Exhausted if the solver answers [Unknown]: [None] is a
+    definitive verdict here and is never used for undetermined answers. *)
 
 val consistent_rel :
   ?backend:backend ->
+  ?budget:Guard.t ->
   ?avoid:Value.t list ->
   ?k_cfd:int ->
   rng:Rng.t ->

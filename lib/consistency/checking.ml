@@ -11,7 +11,7 @@ open Conddep_core
 type result =
   | Consistent of Database.t
   | Inconsistent
-  | Unknown
+  | Unknown of Guard.reason
 
 let m_calls = Telemetry.counter "checking.calls" ~doc:"top-level Checking invocations"
 let m_consistent = Telemetry.counter "checking.results_consistent" ~doc:"Checking answers with a verified witness"
@@ -19,33 +19,45 @@ let m_inconsistent = Telemetry.counter "checking.results_inconsistent" ~doc:"Che
 let m_unknown = Telemetry.counter "checking.results_unknown" ~doc:"Checking answers: budgets exhausted"
 let m_components_tried = Telemetry.counter "checking.components_tried" ~doc:"weakly connected components run through RandomChecking"
 
-let check ?backend ?config ?k ?k_cfd ~rng schema (sigma : Sigma.nf) =
+let check ?backend ?budget ?config ?k ?k_cfd ~rng schema (sigma : Sigma.nf) =
   Telemetry.incr m_calls;
+  let budget = Guard.resolve budget in
   Telemetry.with_span "checking.check" @@ fun () ->
   let result =
-    match Preprocessing.run ?backend ?k_cfd ~rng schema sigma with
-  | Preprocessing.Consistent db -> Consistent db
-  | Preprocessing.Inconsistent -> Inconsistent
-    | Preprocessing.Unknown components ->
-        let rec try_components = function
-          | [] -> Unknown
-          | (members, component_sigma) :: rest -> (
-              Telemetry.incr m_components_tried;
-              match
-                Random_checking.check ?config ?k ?k_cfd ~seed_rels:members ~rng schema
-                  component_sigma
-              with
-              | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
-                  Consistent db
-              | Random_checking.Consistent _ | Random_checking.Unknown ->
-                  try_components rest)
-        in
-        try_components components
+    try
+      Guard.probe ~budget "checking.check";
+      match Preprocessing.run ?backend ~budget ?k_cfd ~rng schema sigma with
+      | Preprocessing.Consistent db -> Consistent db
+      | Preprocessing.Inconsistent -> Inconsistent
+      | Preprocessing.Unknown components ->
+          (* [Guard.Fuel] is the ordinary "budgets K / K_CFD exhausted"
+             answer; a component cut short for a sharper reason (deadline,
+             fault, ...) reports that reason instead — first one wins. *)
+          let rec try_components reason = function
+            | [] -> Unknown reason
+            | (members, component_sigma) :: rest -> (
+                Guard.check budget;
+                Telemetry.incr m_components_tried;
+                match
+                  Random_checking.check ~budget ?config ?k ?k_cfd
+                    ~seed_rels:members ~rng schema component_sigma
+                with
+                | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
+                    Consistent db
+                | Random_checking.Consistent _ -> try_components reason rest
+                | Random_checking.Unknown r ->
+                    let reason =
+                      match reason with Guard.Fuel -> r | _ -> reason
+                    in
+                    try_components reason rest)
+          in
+          try_components Guard.Fuel components
+    with Guard.Exhausted r -> Unknown r
   in
   (match result with
   | Consistent _ -> Telemetry.incr m_consistent
   | Inconsistent -> Telemetry.incr m_inconsistent
-  | Unknown -> Telemetry.incr m_unknown);
+  | Unknown _ -> Telemetry.incr m_unknown);
   result
 
-let to_bool = function Consistent _ -> true | Inconsistent | Unknown -> false
+let to_bool = function Consistent _ -> true | Inconsistent | Unknown _ -> false

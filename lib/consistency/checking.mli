@@ -5,15 +5,19 @@ open Conddep_chase
 (** Algorithm Checking (Fig 9): preProcessing + per-component
     RandomChecking.  Sound: [Consistent] carries a verified witness;
     [Inconsistent] is definitive (Fig 7's reduction emptied the graph);
-    [Unknown] means no witness was found within the budgets. *)
+    [Unknown r] means no witness was found within the budgets, with [r]
+    saying which budget gave out ([Guard.Fuel] for the paper's own K /
+    K_CFD limits; deadline, cancellation, or fault otherwise).
+    [Guard.Exhausted] never escapes [check]. *)
 
 type result =
   | Consistent of Database.t
   | Inconsistent
-  | Unknown
+  | Unknown of Guard.reason
 
 val check :
   ?backend:Cfd_checking.backend ->
+  ?budget:Guard.t ->
   ?config:Chase.config ->
   ?k:int ->
   ?k_cfd:int ->
@@ -21,6 +25,7 @@ val check :
   Db_schema.t ->
   Sigma.nf ->
   result
+(** [budget] defaults to the ambient budget ([Guard.resolve]). *)
 
 val to_bool : result -> bool
 (** The paper's boolean answer: [true] only for [Consistent]. *)

@@ -78,9 +78,11 @@ let singleton_db schema ~rel ~avoid (tau : Template.tuple) =
   let db = Template.add (Template.empty schema) rel tau in
   Template.to_database ~avoid db
 
-let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
+let run ?backend ?budget ?k_cfd ~rng schema (sigma : Sigma.nf) =
   Telemetry.incr m_runs;
+  let budget = Guard.resolve budget in
   Telemetry.with_span "checking.preprocess" @@ fun () ->
+  Guard.probe ~budget "checking.preprocess";
   let g = Depgraph.make schema sigma in
   let sccs = Depgraph.sccs g in
   Telemetry.add m_sccs (List.length sccs);
@@ -101,9 +103,10 @@ let run ?backend ?k_cfd ~rng schema (sigma : Sigma.nf) =
   while !outcome = None && not (Queue.is_empty queue) do
     let r = Queue.pop queue in
     Hashtbl.remove queued r;
+    Guard.check budget;
     if Depgraph.is_live g r then begin
       match
-        Cfd_checking.consistent_rel ?backend ~avoid ?k_cfd ~rng schema
+        Cfd_checking.consistent_rel ?backend ~budget ~avoid ?k_cfd ~rng schema
           (Depgraph.cfd_set g r) ~rel:r
       with
       | Some tau ->

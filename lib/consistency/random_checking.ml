@@ -15,12 +15,12 @@ open Conddep_chase
 
 type result =
   | Consistent of Database.t
-  | Unknown
+  | Unknown of Guard.reason
 
 let m_runs = Telemetry.counter "checking.random.runs" ~doc:"RandomChecking chase runs attempted (K budget consumed)"
 let m_successes = Telemetry.counter "checking.random.successes" ~doc:"RandomChecking runs ending in a verified witness"
 
-let chase_run ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compiled) db =
+let chase_run ~budget ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compiled) db =
   let pool = Pool.make ~n:config.Chase.pool_size in
   (* IND steps fill unknown fields with pool *variables* (instantiated:
      false): the interleaved CFD_Checking then chooses finite-domain values
@@ -29,9 +29,15 @@ let chase_run ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compiled) db =
      make almost every run die on the first CFD clash. *)
   let cinds = Rng.shuffle rng compiled.Chase.cinds in
   let rec loop db steps =
-    if steps > config.Chase.max_steps then None
-    else
-      match Cfd_checking.check_template ~k_cfd ~avoid ~rng compiled.Chase.cfds db with
+    if steps > config.Chase.max_steps then begin
+      Guard.reraise_if_spent budget;
+      None
+    end
+    else begin
+      Guard.tick budget;
+      match
+        Cfd_checking.check_template ~budget ~k_cfd ~avoid ~rng compiled.Chase.cfds db
+      with
       | None -> None
       | Some db ->
           let rec try_cinds = function
@@ -46,41 +52,52 @@ let chase_run ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compiled) db =
                 | Chase.Ind_overflow _ -> None)
           in
           try_cinds cinds
+    end
   in
   loop db 0
 
-let check ?(config = Chase.default_config) ?(k = 20) ?(k_cfd = 100) ?seed_rels ~rng
-    schema (sigma : Sigma.nf) =
-  let compiled = Chase.compile schema sigma in
-  let avoid =
-    List.map (fun (_, _, v) -> v) (Sigma.constants sigma) |> List.sort_uniq Value.compare
-  in
-  let seed_rels =
-    match seed_rels with Some rels -> rels | None -> Db_schema.rel_names schema
-  in
-  if seed_rels = [] then Unknown
-  else begin
-    let rec runs remaining =
-      if remaining <= 0 then Unknown
-      else begin
-        Telemetry.incr m_runs;
-        let rel = Rng.pick rng seed_rels in
-        let db = Chase.seed_tuple schema ~rel in
-        match
-          Telemetry.with_span "checking.random_run" @@ fun () ->
-          chase_run ~config ~k_cfd ~avoid ~rng schema compiled db
-        with
-        | Some terminal ->
-            let concrete = Template.to_database ~avoid terminal in
-            if (not (Database.is_empty concrete)) && Sigma.nf_holds concrete sigma then begin
-              Telemetry.incr m_successes;
-              Consistent concrete
-            end
-            else runs (remaining - 1)
-        | None -> runs (remaining - 1)
-      end
+let check ?budget ?(config = Chase.default_config) ?(k = 20) ?(k_cfd = 100) ?seed_rels
+    ~rng schema (sigma : Sigma.nf) =
+  let budget = Guard.resolve budget in
+  try
+    Guard.probe ~budget "checking.random";
+    let compiled = Chase.compile schema sigma in
+    let avoid =
+      List.map (fun (_, _, v) -> v) (Sigma.constants sigma)
+      |> List.sort_uniq Value.compare
     in
-    runs k
-  end
+    let seed_rels =
+      match seed_rels with Some rels -> rels | None -> Db_schema.rel_names schema
+    in
+    if seed_rels = [] then Unknown Guard.Fuel
+    else begin
+      let rec runs remaining =
+        if remaining <= 0 then begin
+          (* K exhausted: the heuristic gave up on its own step budget. *)
+          Guard.reraise_if_spent budget;
+          Unknown Guard.Fuel
+        end
+        else begin
+          Telemetry.incr m_runs;
+          let rel = Rng.pick rng seed_rels in
+          let db = Chase.seed_tuple schema ~rel in
+          match
+            Telemetry.with_span "checking.random_run" @@ fun () ->
+            chase_run ~budget ~config ~k_cfd ~avoid ~rng schema compiled db
+          with
+          | Some terminal ->
+              let concrete = Template.to_database ~avoid terminal in
+              if (not (Database.is_empty concrete)) && Sigma.nf_holds concrete sigma
+              then begin
+                Telemetry.incr m_successes;
+                Consistent concrete
+              end
+              else runs (remaining - 1)
+          | None -> runs (remaining - 1)
+        end
+      in
+      runs k
+    end
+  with Guard.Exhausted r -> Unknown r
 
-let to_bool = function Consistent _ -> true | Unknown -> false
+let to_bool = function Consistent _ -> true | Unknown _ -> false

@@ -9,9 +9,14 @@ open Conddep_chase
 
 type result =
   | Consistent of Database.t
-  | Unknown
+  | Unknown of Guard.reason
+      (** No witness found: [Guard.Fuel] when the K runs were exhausted
+          normally, another reason when the shared budget cut the search
+          short or an armed fault fired.  [Guard.Exhausted] never escapes
+          this entry point. *)
 
 val check :
+  ?budget:Guard.t ->
   ?config:Chase.config ->
   ?k:int ->
   ?k_cfd:int ->
@@ -22,6 +27,7 @@ val check :
   result
 (** [k] is the number of random runs K (default 20, the paper's setting);
     [k_cfd] bounds the random valuations inside CFD_Checking; [seed_rels]
-    restricts the starting relation (used per component by Checking). *)
+    restricts the starting relation (used per component by Checking);
+    [budget] (default: ambient) bounds the whole search. *)
 
 val to_bool : result -> bool

@@ -91,7 +91,9 @@ let violates_goal goal t1 t2 =
   | Some v1, Some v2 -> not (Value.equal v1 v2 && Pattern.match_cell v1 goal.k_ta)
   | _, _ -> false
 
-let implies ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
+let implies ?budget ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
+  let budget = Guard.resolve budget in
+  Guard.probe ~budget "cfd_implication.implies";
   let rel_schema = Db_schema.find schema phi.Cfd.nf_rel in
   let sigma_rel = List.filter (fun nf -> String.equal nf.Cfd.nf_rel phi.nf_rel) sigma in
   let cands = candidates (phi :: sigma_rel) rel_schema in
@@ -112,6 +114,7 @@ let implies ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
   let rec search pos =
     incr nodes;
     if !nodes > max_nodes then raise Budget_exceeded;
+    Guard.tick budget;
     if sigma_violated () then false
     else if pos >= arity then
       fully_assigned t1 && fully_assigned t2 && violates_goal goal t1 t2

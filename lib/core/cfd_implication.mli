@@ -8,6 +8,9 @@ open Conddep_relational
 
 exception Budget_exceeded
 
-val implies : ?max_nodes:int -> Db_schema.t -> sigma:Cfd.nf list -> Cfd.nf -> bool
+val implies :
+  ?budget:Guard.t -> ?max_nodes:int -> Db_schema.t -> sigma:Cfd.nf list -> Cfd.nf -> bool
 (** [implies schema ~sigma phi] decides [sigma |= phi].
-    @raise Budget_exceeded past [max_nodes] search nodes (default 4e6). *)
+    @raise Budget_exceeded past [max_nodes] search nodes (default 4e6).
+    @raise Guard.Exhausted when the shared [budget] (default: ambient)
+    runs dry mid-search. *)

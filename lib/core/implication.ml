@@ -197,13 +197,16 @@ let is_witness schema (psi : Cind.nf) ~xvals =
     && List.for_all (fun (pos, v) -> field_equal s.fields.(pos) (Cst v)) yp
 
 (* Does a counterexample model exist from this start shape?  Greatest
-   fixpoint over the reachable shape space. *)
-let counterexample_from schema compiled psi ~max_states (start, xvals) =
+   fixpoint over the reachable shape space.  The shared budget is ticked
+   per explored shape (reachability) and per scanned state (fixpoint), so a
+   deadline cuts even an exponentially exploding search promptly. *)
+let counterexample_from schema compiled psi ~budget ~max_states (start, xvals) =
   let witness = is_witness schema psi ~xvals in
   let visited = State_tbl.create 256 in
   let queue = Queue.create () in
   let push s =
     if not (State_tbl.mem visited s) then begin
+      Guard.tick budget;
       State_tbl.replace visited s ();
       if State_tbl.length visited > max_states then raise Budget_exceeded;
       Queue.push s queue
@@ -231,6 +234,7 @@ let counterexample_from schema compiled psi ~max_states (start, xvals) =
     let dead = ref [] in
     State_tbl.iter
       (fun s () ->
+        Guard.tick budget;
         if
           List.exists (fun c -> applicable c s && not (requirement_met c s)) compiled
         then dead := s :: !dead)
@@ -242,15 +246,17 @@ let counterexample_from schema compiled psi ~max_states (start, xvals) =
   done;
   State_tbl.mem alive start
 
-let implies ?(max_states = 50_000) schema ~sigma psi =
+let implies ?budget ?(max_states = 50_000) schema ~sigma psi =
+  let budget = Guard.resolve budget in
+  Guard.probe ~budget "implication.implies";
   let sigma = List.map Cind.canon_nf sigma in
   let psi = Cind.canon_nf psi in
   let compiled = List.map (compile schema) sigma in
   let starts = start_shapes schema psi ~budget:max_states in
   not
-    (List.exists (counterexample_from schema compiled psi ~max_states) starts)
+    (List.exists (counterexample_from schema compiled psi ~budget ~max_states) starts)
 
-let implies_infinite ?max_states schema ~sigma psi =
+let implies_infinite ?budget ?max_states schema ~sigma psi =
   let attrs_infinite rel names =
     let r = Db_schema.find schema rel in
     List.for_all (fun a -> not (Domain.is_finite (Schema.domain_of r a))) names
@@ -270,4 +276,4 @@ let implies_infinite ?max_states schema ~sigma psi =
   if not (List.for_all check (psi :: sigma)) then
     invalid_arg
       "Implication.implies_infinite: constraints involve finite-domain attributes";
-  implies ?max_states schema ~sigma psi
+  implies ?budget ?max_states schema ~sigma psi

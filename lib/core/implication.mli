@@ -17,13 +17,17 @@ open Conddep_relational
 exception Budget_exceeded
 (** The shape space exceeded [max_states]; the answer is unknown. *)
 
-val implies : ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
+val implies :
+  ?budget:Guard.t -> ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
 (** [implies schema ~sigma psi] decides [sigma |= psi].  Inputs are assumed
     validated against [schema].
-    @raise Budget_exceeded past [max_states] explored shapes (default 50,000). *)
+    @raise Budget_exceeded past [max_states] explored shapes (default 50,000).
+    @raise Guard.Exhausted when the shared [budget] (default: ambient) runs
+    dry — the boolean result cannot express "unknown", so callers map the
+    exception to their own undetermined answer. *)
 
 val implies_infinite :
-  ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
+  ?budget:Guard.t -> ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
 (** Same decision, restricted to the finite-domain-free setting of
     Theorem 3.5 (where rules CIND1–CIND6 are complete).
     @raise Invalid_argument if any involved relation has a finite-domain

@@ -1,0 +1,261 @@
+(* Unified resource governance: budgets (deadline / fuel / allocation
+   ceiling / cancellation) with a structured exhaustion reason, an ambient
+   budget for CLI- and bench-scoped limits, and deterministic named
+   fault-injection probes.  See guard.mli for the full contract. *)
+
+type reason =
+  | Deadline
+  | Fuel
+  | Memory
+  | Cancelled
+  | Fault of string
+
+exception Exhausted of reason
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+  | Fault site -> "fault:" ^ site
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_to_string r)
+
+let m_deadline = Telemetry.counter "guard.deadline_hits" ~doc:"budgets exhausted by the wall-clock deadline"
+let m_fuel = Telemetry.counter "guard.fuel_exhausted" ~doc:"budgets exhausted by the step-fuel limit"
+let m_memory = Telemetry.counter "guard.memory_hits" ~doc:"budgets exhausted by the allocation ceiling"
+let m_cancelled = Telemetry.counter "guard.cancellations" ~doc:"budgets exhausted by a cancellation token"
+let m_faults = Telemetry.counter "guard.faults_injected" ~doc:"armed probes that raised Exhausted (Fault _)"
+let m_stalls = Telemetry.counter "guard.stalls_injected" ~doc:"armed probes that stalled (slept) at their site"
+let m_budgets = Telemetry.counter "guard.budgets_created" ~doc:"limited budgets constructed"
+
+(* --- cancellation tokens --- *)
+
+type token = { mutable cancelled : bool }
+
+let token () = { cancelled = false }
+let cancel tok = tok.cancelled <- true
+let is_cancelled tok = tok.cancelled
+
+(* --- budgets --- *)
+
+type t = {
+  deadline : float option; (* absolute Unix time *)
+  fuel_limited : bool;
+  mutable fuel : int;
+  max_words : float option;
+  words0 : float; (* Gc.minor_words at creation *)
+  cancel : token option;
+  mutable poll : int; (* countdown to the next clock/allocator poll *)
+  mutable spent : reason option; (* sticky once exhausted *)
+}
+
+(* How many ticks between clock/allocator polls.  Tick sites sit on
+   per-step loops (chase steps, SAT conflicts/decisions, search nodes), so
+   this bounds deadline overshoot to a few dozen steps of work. *)
+let poll_every = 32
+
+let unlimited =
+  {
+    deadline = None;
+    fuel_limited = false;
+    fuel = max_int;
+    max_words = None;
+    words0 = 0.;
+    cancel = None;
+    poll = max_int;
+    spent = None;
+  }
+
+let is_unlimited b = b == unlimited
+
+let make ?timeout_s ?fuel ?max_words ?cancel () =
+  match timeout_s, fuel, max_words, cancel with
+  | None, None, None, None -> unlimited
+  | _ ->
+      Telemetry.incr m_budgets;
+      {
+        deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
+        fuel_limited = fuel <> None;
+        fuel = Option.value ~default:max_int fuel;
+        max_words;
+        words0 = (if max_words = None then 0. else Gc.minor_words ());
+        cancel;
+        poll = 0;
+        spent = None;
+      }
+
+let exhaust b reason =
+  b.spent <- Some reason;
+  (match reason with
+  | Deadline -> Telemetry.incr m_deadline
+  | Fuel -> Telemetry.incr m_fuel
+  | Memory -> Telemetry.incr m_memory
+  | Cancelled -> Telemetry.incr m_cancelled
+  | Fault _ -> Telemetry.incr m_faults);
+  raise (Exhausted reason)
+
+(* Poll the expensive limits (clock, allocator). *)
+let poll_slow b =
+  b.poll <- poll_every;
+  (match b.deadline with
+  | Some d when Unix.gettimeofday () > d -> exhaust b Deadline
+  | _ -> ());
+  match b.max_words with
+  | Some w when Gc.minor_words () -. b.words0 > w -> exhaust b Memory
+  | _ -> ()
+
+let tick ?(cost = 1) b =
+  if not (is_unlimited b) then begin
+    (match b.spent with Some r -> raise (Exhausted r) | None -> ());
+    (match b.cancel with
+    | Some tok when tok.cancelled -> exhaust b Cancelled
+    | _ -> ());
+    if b.fuel_limited then begin
+      b.fuel <- b.fuel - cost;
+      if b.fuel < 0 then exhaust b Fuel
+    end;
+    b.poll <- b.poll - 1;
+    if b.poll <= 0 then poll_slow b
+  end
+
+let check b =
+  if not (is_unlimited b) then begin
+    (match b.spent with Some r -> raise (Exhausted r) | None -> ());
+    (match b.cancel with
+    | Some tok when tok.cancelled -> exhaust b Cancelled
+    | _ -> ());
+    poll_slow b
+  end
+
+let state b = b.spent
+
+let reraise_if_spent b =
+  match b.spent with Some r -> raise (Exhausted r) | None -> ()
+
+let recoverable ~shared r =
+  match r with Fault _ -> false | Deadline | Fuel | Memory | Cancelled -> shared.spent = None
+
+let run b f =
+  match
+    check b;
+    f ()
+  with
+  | v -> Ok v
+  | exception Exhausted r -> Error r
+
+(* --- ambient budget --- *)
+
+let ambient_budget = ref unlimited
+
+let ambient () = !ambient_budget
+let set_ambient b = ambient_budget := b
+
+let with_ambient b f =
+  let saved = !ambient_budget in
+  ambient_budget := b;
+  Fun.protect ~finally:(fun () -> ambient_budget := saved) f
+
+let resolve = function Some b -> b | None -> !ambient_budget
+
+(* --- fault injection --- *)
+
+type fault =
+  | Raise
+  | Stall of float
+
+type armed = { mutable countdown : int; mode : fault; env_only : bool }
+
+(* site -> armed entry; the wildcard site "*" matches everything *)
+let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
+let sites_tbl : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+let arm_internal ~env_only ~site ~after mode =
+  Hashtbl.replace armed_tbl site { countdown = after; mode; env_only }
+
+let arm ~site ?(after = 0) mode = arm_internal ~env_only:false ~site ~after mode
+
+(* Small deterministic hash (FNV-1a over the seed then the site name):
+   seed-driven sweeps get a per-site countdown without any global RNG. *)
+let site_hash seed site =
+  let h = ref 0x811c9dc5 in
+  let mix byte = h := (!h lxor byte) * 0x01000193 land 0x3fffffff in
+  mix (seed land 0xff);
+  mix ((seed asr 8) land 0xff);
+  String.iter (fun c -> mix (Char.code c)) site;
+  !h
+
+let arm_seeded ~seed ~sites =
+  List.iter (fun site -> arm ~site ~after:(site_hash seed site mod 4) Raise) sites
+
+let disarm ~site = Hashtbl.remove armed_tbl site
+let disarm_all () = Hashtbl.reset armed_tbl
+
+let known_sites () =
+  Hashtbl.fold (fun s () acc -> s :: acc) sites_tbl [] |> List.sort String.compare
+
+let probe ?budget site =
+  if not (Hashtbl.mem sites_tbl site) then Hashtbl.replace sites_tbl site ();
+  if Hashtbl.length armed_tbl > 0 then begin
+    let entry =
+      match Hashtbl.find_opt armed_tbl site with
+      | Some _ as e -> e
+      | None -> Hashtbl.find_opt armed_tbl "*"
+    in
+    match entry with
+    | None -> ()
+    | Some e ->
+        let applies =
+          (not e.env_only) || not (is_unlimited (resolve budget))
+        in
+        if applies then begin
+          if e.countdown > 0 then e.countdown <- e.countdown - 1
+          else
+            match e.mode with
+            | Raise ->
+                Telemetry.incr m_faults;
+                raise (Exhausted (Fault site))
+            | Stall s ->
+                Telemetry.incr m_stalls;
+                Unix.sleepf s
+        end
+  end
+
+(* Environment arming: GUARD_FAULTS=all | site1,site2 with optional
+   GUARD_FAULT_MODE=raise|stall:SECS, GUARD_FAULT_AFTER=N and
+   GUARD_FAULT_SEED=N (per-site deterministic countdowns).  Environment-
+   armed faults are marked env_only: they fire only at probes governed by a
+   limited budget (see guard.mli). *)
+let () =
+  match Sys.getenv_opt "GUARD_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec ->
+      let mode =
+        match Sys.getenv_opt "GUARD_FAULT_MODE" with
+        | Some m when String.length m > 6 && String.sub m 0 6 = "stall:" -> (
+            match float_of_string_opt (String.sub m 6 (String.length m - 6)) with
+            | Some s when s >= 0. -> Stall s
+            | _ -> Raise)
+        | _ -> Raise
+      in
+      let after site =
+        match Sys.getenv_opt "GUARD_FAULT_SEED" with
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some seed -> site_hash seed site mod 4
+            | None -> 0)
+        | None -> (
+            match Sys.getenv_opt "GUARD_FAULT_AFTER" with
+            | Some s -> Option.value ~default:0 (int_of_string_opt s)
+            | None -> 0)
+      in
+      let sites =
+        if String.equal spec "all" then [ "*" ]
+        else
+          String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+      in
+      List.iter
+        (fun site -> arm_internal ~env_only:true ~site ~after:(after site) mode)
+        sites

@@ -1,0 +1,147 @@
+(** Unified resource governance for the long-running decision procedures.
+
+    The paper's core problems are intrinsically expensive — CIND implication
+    is EXPTIME-complete (Thm 3.4) and the heuristic [Checking] pipeline is
+    budgeted by design (K / K_CFD, Fig 9) — so every engine in this repo
+    accepts a {!t} ("budget") combining a wall-clock deadline, step fuel, an
+    optional allocation ceiling, and a cooperative cancellation token.
+    Exhaustion is reported as a structured {!reason} rather than a hang or a
+    crash; engines surface it as a typed [Unknown]/[Exhausted] result (or
+    let {!Exhausted} propagate from boolean APIs, where the caller maps it
+    to an exit code).
+
+    Budgets are single-threaded, mutable, and *sticky*: once exhausted,
+    every subsequent {!tick}/{!check} raises again with the same reason, so
+    a deep search unwinds promptly no matter where it is.
+
+    The module also hosts deterministic {e fault-injection probes}
+    ({!probe}): named sites in the engines that tests (or the
+    [GUARD_FAULTS] environment variable) can arm to raise or stall, proving
+    that degradation is graceful — a fault surfaces as
+    [Unknown (Fault site)], never as a crash.
+
+    Every budget/cancel/fault event is counted through the telemetry layer
+    ([guard.deadline_hits], [guard.fuel_exhausted], [guard.memory_hits],
+    [guard.cancellations], [guard.faults_injected], [guard.stalls_injected]). *)
+
+(** {1 Exhaustion reasons} *)
+
+type reason =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Fuel  (** the step/fuel budget ran dry (also: a capacity limit) *)
+  | Memory  (** the allocation ceiling was crossed *)
+  | Cancelled  (** the cancellation token was triggered *)
+  | Fault of string  (** an armed fault-injection probe fired at this site *)
+
+exception Exhausted of reason
+(** Raised by {!tick}/{!check}/{!probe} when a budget limit is hit. *)
+
+val reason_to_string : reason -> string
+(** ["deadline"], ["fuel"], ["memory"], ["cancelled"], ["fault:<site>"]. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** {1 Cancellation tokens} *)
+
+type token
+
+val token : unit -> token
+val cancel : token -> unit
+val is_cancelled : token -> bool
+
+(** {1 Budgets} *)
+
+type t
+
+val unlimited : t
+(** The no-op budget: {!tick} and {!check} on it never raise and cost one
+    physical-equality test. *)
+
+val make :
+  ?timeout_s:float -> ?fuel:int -> ?max_words:float -> ?cancel:token -> unit -> t
+(** [make ()] with no limits is {!unlimited}.  [timeout_s] is a relative
+    wall-clock deadline in seconds; [fuel] a number of {!tick}s (cost-
+    weighted); [max_words] a ceiling on minor-heap words allocated after
+    creation (polled via [Gc.minor_words]); [cancel] a cooperative token. *)
+
+val is_unlimited : t -> bool
+
+val tick : ?cost:int -> t -> unit
+(** Consume [cost] (default 1) fuel and poll the cheap limits; the clock
+    and the allocator are polled every few dozen ticks.  @raise Exhausted
+    when any limit is hit (and on every call thereafter — sticky). *)
+
+val check : t -> unit
+(** Like {!tick} but consumes no fuel and always polls the clock and the
+    allocator: use at the head of coarse loops where steps are heavy. *)
+
+val state : t -> reason option
+(** Non-raising poll: [Some r] once the budget has been exhausted. *)
+
+val reraise_if_spent : t -> unit
+(** @raise Exhausted if {!state} is [Some _].  A safety net before
+    returning a "gave up" answer that would otherwise be mistaken for a
+    definitive negative. *)
+
+val recoverable : shared:t -> reason -> bool
+(** Should a heuristic sub-search swallow this exhaustion and merely count
+    the attempt as failed?  [true] iff the reason is not a {!Fault} and the
+    [shared] budget itself is not spent — i.e. the exhaustion came from a
+    purely local limit (a chase step budget, a solver conflict cap).
+    Shared exhaustion and injected faults must propagate. *)
+
+val run : t -> (unit -> 'a) -> ('a, reason) result
+(** [run b f] evaluates [f ()], catching {!Exhausted}. *)
+
+(** {1 Ambient budget}
+
+    Entry points default their [?budget] argument to the process-wide
+    ambient budget (itself {!unlimited} by default) via {!resolve}; the CLI
+    sets it from [--timeout]/[--fuel], the bench harness scopes one per
+    series. *)
+
+val ambient : unit -> t
+val set_ambient : t -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Scoped {!set_ambient}; restores the previous ambient on exit. *)
+
+val resolve : t option -> t
+(** [resolve (Some b)] is [b]; [resolve None] is [ambient ()]. *)
+
+(** {1 Fault injection}
+
+    Engines mark their entry points with [probe "subsystem.site"].  A probe
+    is a no-op until its site is armed; an armed probe fires
+    deterministically after a per-site countdown, either raising
+    [Exhausted (Fault site)] or stalling for a fixed duration (to exercise
+    deadline paths).
+
+    Arming from the environment ([GUARD_FAULTS=all] or a comma-separated
+    site list, with optional [GUARD_FAULT_MODE=raise|stall:SECS],
+    [GUARD_FAULT_AFTER=N], [GUARD_FAULT_SEED=N]) fires only at probes
+    running under a *limited* budget, so an armed process degrades its
+    governed runs without perturbing unbudgeted code; programmatic {!arm}
+    fires unconditionally. *)
+
+type fault =
+  | Raise  (** raise [Exhausted (Fault site)] at the probe *)
+  | Stall of float  (** sleep this many seconds, then continue *)
+
+val arm : site:string -> ?after:int -> fault -> unit
+(** Arm one site ([after] probe hits are let through first, default 0).
+    [site = "*"] arms every site. *)
+
+val arm_seeded : seed:int -> sites:string list -> unit
+(** Deterministic seed-driven sweep arming: each site gets a [Raise] fault
+    with a small countdown derived from [(seed, site)]. *)
+
+val disarm : site:string -> unit
+val disarm_all : unit -> unit
+
+val probe : ?budget:t -> string -> unit
+(** Mark a named fault-injection site.  [budget] (default: ambient) decides
+    whether environment-armed faults apply; see above. *)
+
+val known_sites : unit -> string list
+(** Every site probed so far in this process, sorted. *)

@@ -1,6 +1,8 @@
 (* Minimal CSV reader/writer used by the examples to ship datasets as plain
    files.  Supports double-quoted fields with doubled-quote escapes. *)
 
+(* [Error col] reports the 1-based column of the quote that was never
+   closed, so parse errors can point at the offending character. *)
 let split_line line =
   let buf = Buffer.create 16 in
   let fields = ref [] in
@@ -13,24 +15,24 @@ let split_line line =
           fields := Buffer.contents buf :: !fields;
           Buffer.clear buf;
           plain (i + 1)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted i (i + 1)
       | c ->
           Buffer.add_char buf c;
           plain (i + 1)
-  and quoted i =
-    if i >= n then failwith "Csv.split_line: unterminated quote"
+  and quoted opened i =
+    if i >= n then Error (opened + 1)
     else
       match line.[i] with
       | '"' when i + 1 < n && line.[i + 1] = '"' ->
           Buffer.add_char buf '"';
-          quoted (i + 2)
+          quoted opened (i + 2)
       | '"' -> plain (i + 1)
       | c ->
           Buffer.add_char buf c;
-          quoted (i + 1)
+          quoted opened (i + 1)
   and finish _ =
     fields := Buffer.contents buf :: !fields;
-    List.rev !fields
+    Ok (List.rev !fields)
   in
   plain 0
 
@@ -47,34 +49,42 @@ let coerce domain raw =
   else Error (Fmt.str "value %S outside domain %a" raw Domain.pp domain)
 
 let parse_string schema contents =
+  (* physical line numbers: blank and '#' lines are skipped but counted *)
   let lines =
     String.split_on_char '\n' contents
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
   in
   let arity = Schema.arity schema in
   let parse_line lineno line =
-    let fields = split_line line in
-    if List.length fields <> arity then
-      Error (Printf.sprintf "line %d: expected %d fields, got %d" lineno arity (List.length fields))
-    else
-      let rec coerce_all i acc = function
-        | [] -> Ok (Tuple.make (List.rev acc))
-        | raw :: rest -> (
-            match coerce (Attribute.domain (Schema.attr schema i)) raw with
-            | Ok v -> coerce_all (i + 1) (v :: acc) rest
-            | Error e -> Error (Printf.sprintf "line %d, field %d: %s" lineno (i + 1) e))
-      in
-      coerce_all 0 [] fields
+    match split_line line with
+    | Error col ->
+        Error
+          (Printf.sprintf "line %d, column %d: unterminated quoted field" lineno col)
+    | Ok fields ->
+        if List.length fields <> arity then
+          Error
+            (Printf.sprintf "line %d: expected %d fields, got %d" lineno arity
+               (List.length fields))
+        else
+          let rec coerce_all i acc = function
+            | [] -> Ok (Tuple.make (List.rev acc))
+            | raw :: rest -> (
+                match coerce (Attribute.domain (Schema.attr schema i)) raw with
+                | Ok v -> coerce_all (i + 1) (v :: acc) rest
+                | Error e ->
+                    Error (Printf.sprintf "line %d, field %d: %s" lineno (i + 1) e))
+          in
+          coerce_all 0 [] fields
   in
-  let rec go lineno acc = function
+  let rec go acc = function
     | [] -> Ok (Relation.of_list schema (List.rev acc))
-    | line :: rest -> (
+    | (lineno, line) :: rest -> (
         match parse_line lineno line with
-        | Ok t -> go (lineno + 1) (t :: acc) rest
+        | Ok t -> go (t :: acc) rest
         | Error e -> Error e)
   in
-  go 1 [] lines
+  go [] lines
 
 let load schema path =
   let ic = open_in path in

@@ -4,7 +4,14 @@
     lines starting with ['#'] and blank lines are skipped.  Double-quoted
     fields support doubled-quote escapes. *)
 
+val split_line : string -> (string list, int) result
+(** Split one CSV line into fields; [Error col] is the 1-based column of an
+    unterminated opening quote. *)
+
 val parse_string : Schema.t -> string -> (Relation.t, string) result
+(** Errors carry physical [line %d] (and, for quoting errors,
+    [column %d]) positions into the input. *)
+
 val load : Schema.t -> string -> (Relation.t, string) result
 val to_string : Relation.t -> string
 val save : Relation.t -> string -> unit

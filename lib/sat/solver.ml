@@ -6,6 +6,7 @@
 type result =
   | Sat of bool array (* indexed by variable, index 0 unused *)
   | Unsat
+  | Unknown of Guard.reason (* search stopped by a budget, limit or fault *)
 
 let m_solves = Telemetry.counter "sat.solve_calls" ~doc:"CNF instances handed to the DPLL solver"
 let m_decisions = Telemetry.counter "sat.decisions" ~doc:"branching decisions"
@@ -14,6 +15,7 @@ let m_conflicts = Telemetry.counter "sat.conflicts" ~doc:"clauses falsified duri
 let m_restarts = Telemetry.counter "sat.restarts" ~doc:"always 0: the chronological solver never restarts; kept for comparability with CDCL-style accounting"
 let m_sat = Telemetry.counter "sat.results_sat" ~doc:"instances decided satisfiable"
 let m_unsat = Telemetry.counter "sat.results_unsat" ~doc:"instances decided unsatisfiable"
+let m_unknown = Telemetry.counter "sat.results_unknown" ~doc:"instances left undecided: budget, conflict/decision limit or fault"
 
 exception Found_unsat
 
@@ -122,7 +124,7 @@ let simplify_clause clause =
   let sorted = List.sort_uniq Int.compare clause in
   if List.exists (fun l -> List.mem (-l) sorted) sorted then None else Some sorted
 
-let solve_raw cnf =
+let solve_raw ~budget ~max_conflicts ~max_decisions cnf =
   let num_vars = Cnf.num_vars cnf in
   let simplified = List.filter_map simplify_clause (Cnf.clauses cnf) in
   if List.exists (fun c -> c = []) simplified then Unsat
@@ -164,6 +166,7 @@ let solve_raw cnf =
         units;
       (* Decision stack: (trail length before the decision, literal, flipped). *)
       let dstack : (int * int * bool) Stack.t = Stack.create () in
+      let conflicts = ref 0 and decisions = ref 0 in
       let rec search () =
         if propagate st then
           match pick_branch st with
@@ -175,10 +178,18 @@ let solve_raw cnf =
               Sat model
           | Some l ->
               Telemetry.incr m_decisions;
+              incr decisions;
+              if !decisions > max_decisions then raise (Guard.Exhausted Guard.Fuel);
+              Guard.tick budget;
               Stack.push (st.trail_len, l, false) dstack;
               push_assign st l;
               search ()
-        else resolve_conflict ()
+        else begin
+          incr conflicts;
+          if !conflicts > max_conflicts then raise (Guard.Exhausted Guard.Fuel);
+          Guard.tick budget;
+          resolve_conflict ()
+        end
       and resolve_conflict () =
         if Stack.is_empty dstack then raise Found_unsat
         else
@@ -195,22 +206,36 @@ let solve_raw cnf =
     with Found_unsat -> Unsat
   end
 
-let solve cnf =
+let solve ?budget ?(max_conflicts = max_int) ?(max_decisions = max_int) cnf =
   ignore m_restarts;
+  let budget = Guard.resolve budget in
   Telemetry.incr m_solves;
   Telemetry.with_span "sat.solve" @@ fun () ->
-  let result = solve_raw cnf in
+  let result =
+    try
+      Guard.probe ~budget "sat.solve";
+      solve_raw ~budget ~max_conflicts ~max_decisions cnf
+    with Guard.Exhausted r -> Unknown r
+  in
   (match result with
   | Sat _ -> Telemetry.incr m_sat
-  | Unsat -> Telemetry.incr m_unsat);
+  | Unsat -> Telemetry.incr m_unsat
+  | Unknown _ -> Telemetry.incr m_unknown);
   result
 
-let is_sat cnf = match solve cnf with Sat _ -> true | Unsat -> false
+let is_sat ?budget cnf =
+  match solve ?budget cnf with
+  | Sat _ -> true
+  | Unsat -> false
+  | Unknown r -> raise (Guard.Exhausted r)
 
-(* Exhaustive reference solver for testing (exponential; small inputs only). *)
+(* Exhaustive reference solver for testing (exponential; small inputs only).
+   Beyond its capacity it answers Unknown — a typed degradation, matching
+   the CDCL solver's contract — instead of raising. *)
 let solve_brute cnf =
   let n = Cnf.num_vars cnf in
-  if n > 24 then invalid_arg "Solver.solve_brute: too many variables";
+  if n > 24 then Unknown Guard.Fuel
+  else begin
   let assignment = Array.make (n + 1) false in
   let rec go v =
     if v > n then if Cnf.eval assignment cnf then Some (Array.copy assignment) else None
@@ -223,4 +248,5 @@ let solve_brute cnf =
           go (v + 1)
     end
   in
-  match go 1 with Some m -> Sat m | None -> Unsat
+    match go 1 with Some m -> Sat m | None -> Unsat
+  end

@@ -1,16 +1,30 @@
 (** A complete DPLL SAT solver with watched-literal unit propagation.
 
     Substitute for SAT4j [19] in the SAT-based consistency checking of
-    Section 5.2: the reduction only needs a complete propositional oracle. *)
+    Section 5.2: the reduction only needs a complete propositional oracle.
+
+    The solver is resource-governed: an optional {!Guard.t} budget plus
+    conflict/decision limits bound the search, and the result is
+    three-valued — under limits the solver degrades to [Unknown] with a
+    structured reason, never to a wrong [Sat]/[Unsat]. *)
 
 type result =
   | Sat of bool array  (** model indexed by variable; index 0 is unused *)
   | Unsat
+  | Unknown of Guard.reason
+      (** search stopped by the budget, a conflict/decision limit
+          ([Guard.Fuel]) or an armed fault probe *)
 
-val solve : Cnf.t -> result
+val solve :
+  ?budget:Guard.t -> ?max_conflicts:int -> ?max_decisions:int -> Cnf.t -> result
+(** [budget] defaults to the ambient budget; with no limits at all the
+    solver is complete and never answers [Unknown]. *)
 
-val is_sat : Cnf.t -> bool
+val is_sat : ?budget:Guard.t -> Cnf.t -> bool
+(** The boolean view.  @raise Guard.Exhausted when the budget runs dry
+    ([Unknown] has no faithful boolean reading). *)
 
 val solve_brute : Cnf.t -> result
-(** Exhaustive reference implementation for differential testing.
-    @raise Invalid_argument beyond 24 variables. *)
+(** Exhaustive reference implementation for differential testing.  Returns
+    [Unknown Guard.Fuel] beyond its 24-variable capacity (a typed answer,
+    not an exception). *)

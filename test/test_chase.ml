@@ -12,6 +12,7 @@ let rng () = Rng.make 42
 let get_terminal = function
   | Chase.Terminal db -> db
   | Chase.Undefined why -> Alcotest.failf "chase undefined: %s" why
+  | Chase.Exhausted r -> Alcotest.failf "chase exhausted: %s" (Guard.reason_to_string r)
 
 (* --- template plumbing ---------------------------------------------------- *)
 
@@ -177,6 +178,7 @@ let test_instantiated_chase_threshold () =
   | Chase.Terminal db ->
       (* with string pools the chase may close on pool reuse instead *)
       check_bool "bounded by threshold" true (Template.cardinal db "r" <= 5)
+  | Chase.Exhausted r -> Alcotest.failf "chase exhausted: %s" (Guard.reason_to_string r)
 
 let test_pool_contents () =
   let pool = Pool.make ~n:3 in

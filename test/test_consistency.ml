@@ -178,7 +178,7 @@ let test_random_checking_example_5_1 () =
   match Random_checking.check ~rng:(rng ()) schema sigma with
   | Random_checking.Consistent db ->
       check_bool "witness verified" true (Sigma.nf_holds db sigma)
-  | Random_checking.Unknown -> Alcotest.fail "Example 5.1 is consistent"
+  | Random_checking.Unknown _ -> Alcotest.fail "Example 5.1 is consistent"
 
 let test_random_checking_example_5_3 () =
   (* dom(H) = {0, 1}: the instantiated chase still finds a witness. *)
@@ -187,7 +187,7 @@ let test_random_checking_example_5_3 () =
   match Random_checking.check ~k:40 ~rng:(rng ()) schema sigma with
   | Random_checking.Consistent db ->
       check_bool "witness verified" true (Sigma.nf_holds db sigma)
-  | Random_checking.Unknown -> Alcotest.fail "Example 5.3 finds a witness"
+  | Random_checking.Unknown _ -> Alcotest.fail "Example 5.3 finds a witness"
 
 let test_random_checking_sound_on_conflict () =
   (* Example 4.2: φ and ψ conflict; RandomChecking must never say true. *)
@@ -195,7 +195,7 @@ let test_random_checking_sound_on_conflict () =
     Sigma.normalize (Sigma.make ~cfds:[ B.ex42_cfd ] ~cinds:[ B.ex42_cind ] ())
   in
   match Random_checking.check ~k:40 ~rng:(rng ()) B.ex42_schema sigma with
-  | Random_checking.Unknown -> ()
+  | Random_checking.Unknown _ -> ()
   | Random_checking.Consistent _ -> Alcotest.fail "Example 4.2 is inconsistent"
 
 (* --- Checking (Fig 9, Example 5.6) ----------------------------------------- *)
@@ -207,7 +207,7 @@ let test_checking_example_5_6 () =
   match Checking.check ~k:40 ~rng:(rng ()) schema sigma with
   | Checking.Consistent db -> check_bool "verified" true (Sigma.nf_holds db sigma)
   | Checking.Inconsistent -> Alcotest.fail "expected consistent"
-  | Checking.Unknown -> Alcotest.fail "Checking should close Example 5.6"
+  | Checking.Unknown _ -> Alcotest.fail "Checking should close Example 5.6"
 
 let test_checking_example_4_2 () =
   let sigma =
@@ -224,7 +224,7 @@ let test_checking_bank_sigma () =
   match Checking.check ~k:60 ~rng:(rng ()) B.schema sigma with
   | Checking.Consistent db -> check_bool "verified" true (Sigma.nf_holds db sigma)
   | Checking.Inconsistent -> Alcotest.fail "bank sigma is consistent"
-  | Checking.Unknown -> Alcotest.fail "Checking should find the bank witness"
+  | Checking.Unknown _ -> Alcotest.fail "Checking should find the bank witness"
 
 let () =
   Alcotest.run "consistency"

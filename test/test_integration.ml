@@ -20,7 +20,7 @@ let test_parse_check_clean_repair () =
   | Checking.Consistent witness ->
       check_bool "witness verified" true (Sigma.nf_holds witness nf)
   | Checking.Inconsistent -> Alcotest.fail "bank constraints are consistent"
-  | Checking.Unknown -> Alcotest.fail "Checking should close the bank file");
+  | Checking.Unknown _ -> Alcotest.fail "Checking should close the bank file");
   let db = ok_or_fail (Parser.database doc) in
   let before = Detect.detect db nf in
   check_int "two planted errors" 2 (List.length before);

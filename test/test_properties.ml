@@ -61,13 +61,13 @@ let prop_random_checking_sound seed =
   match Random_checking.check ~k:5 ~rng:(Rng.make (seed + 1)) schema sigma with
   | Random_checking.Consistent db ->
       (not (Database.is_empty db)) && Sigma.nf_holds db sigma
-  | Random_checking.Unknown -> true
+  | Random_checking.Unknown _ -> true
 
 let prop_checking_sound seed =
   let schema, sigma = make_workload ~consistent:false seed in
   match Checking.check ~k:5 ~rng:(Rng.make (seed + 1)) schema sigma with
   | Checking.Consistent db -> (not (Database.is_empty db)) && Sigma.nf_holds db sigma
-  | Checking.Inconsistent | Checking.Unknown -> true
+  | Checking.Inconsistent | Checking.Unknown _ -> true
 
 (* Checking should accept (almost) all generator-consistent sets; we assert
    full soundness and record acceptance as a hard property only for the
@@ -77,7 +77,7 @@ let prop_checking_accepts_consistent seed =
   match Checking.check ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma with
   | Checking.Consistent db -> Sigma.nf_holds db sigma
   | Checking.Inconsistent -> false (* definitive answers must never be wrong *)
-  | Checking.Unknown -> true (* incompleteness is allowed, unsoundness is not *)
+  | Checking.Unknown _ -> true (* incompleteness is allowed, unsoundness is not *)
 
 (* --- differential: SAT backend vs exact CFD consistency --------------------- *)
 
@@ -298,6 +298,7 @@ let prop_terminal_chase_satisfies_cinds seed =
       ~rng:(Rng.make (seed + 5)) schema compiled seed_db
   with
   | Conddep_chase.Chase.Undefined _ -> true
+  | Conddep_chase.Chase.Exhausted _ -> true
   | Conddep_chase.Chase.Terminal db ->
       let avoid = List.map (fun (_, _, v) -> v) (Sigma.constants cind_only) in
       let concrete = Conddep_chase.Template.to_database ~avoid db in

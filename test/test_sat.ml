@@ -4,7 +4,11 @@ open Helpers
 (* The DPLL solver: hand-written cases, DIMACS round-trips, and a
    differential property test against the brute-force reference. *)
 
-let solve_is_sat cnf = match Solver.solve cnf with Solver.Sat _ -> true | Solver.Unsat -> false
+let solve_is_sat cnf =
+  match Solver.solve cnf with
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
 
 let test_trivial () =
   check_bool "empty formula" true (solve_is_sat (Cnf.make ~num_vars:0 []));
@@ -18,6 +22,7 @@ let test_model_is_valid () =
   match Solver.solve cnf with
   | Solver.Unsat -> Alcotest.fail "expected SAT"
   | Solver.Sat model -> check_bool "model satisfies" true (Cnf.eval model cnf)
+  | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
 
 let test_propagation_chain () =
   (* 1 forced, then 2, then 3; finally clause demands -3: UNSAT *)
@@ -84,12 +89,20 @@ let random_cnf =
 let prop_matches_brute_force (num_vars, clauses) =
   let cnf = Cnf.make ~num_vars clauses in
   let dpll = solve_is_sat cnf in
-  let brute = match Solver.solve_brute cnf with Solver.Sat _ -> true | Solver.Unsat -> false in
+  let brute =
+    match Solver.solve_brute cnf with
+    | Solver.Sat _ -> true
+    | Solver.Unsat -> false
+    | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
+  in
   dpll = brute
 
 let prop_sat_models_check (num_vars, clauses) =
   let cnf = Cnf.make ~num_vars clauses in
-  match Solver.solve cnf with Solver.Sat model -> Cnf.eval model cnf | Solver.Unsat -> true
+  match Solver.solve cnf with
+  | Solver.Sat model -> Cnf.eval model cnf
+  | Solver.Unsat -> true
+  | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
 
 let () =
   Alcotest.run "sat"

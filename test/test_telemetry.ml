@@ -212,7 +212,7 @@ let test_verdicts_unperturbed () =
         match Checking.check ~k:5 ~rng:(Rng.make (seed + 1)) schema sigma with
         | Checking.Consistent _ -> "consistent"
         | Checking.Inconsistent -> "inconsistent"
-        | Checking.Unknown -> "unknown")
+        | Checking.Unknown _ -> "unknown")
       [ 1; 2; 3; 4; 5; 6; 7; 8 ]
   in
   let baseline = verdicts () in
