@@ -23,7 +23,7 @@ let fig10a scale =
   let schema = Schema_gen.generate (Rng.make 1000) sconfig in
   let rels = Db_schema.rel_names schema in
   let reps = 3 in
-  List.iter
+  series (Workloads.fig10a_cfds_per_relation scale)
     (fun per_rel ->
       with_series_metrics (Printf.sprintf "fig10a/cfds=%d" per_rel) @@ fun () ->
       let rng = Rng.make (1000 + per_rel) in
@@ -46,7 +46,6 @@ let fig10a scale =
       let chase_s = time_backend Cfd_checking.Chase_backend in
       let sat_s = time_backend Cfd_checking.Sat_backend in
       row "%-14d %-12.4f %-12.4f@." per_rel chase_s sat_s)
-    (Workloads.fig10a_cfds_per_relation scale)
 
 (* --- Fig 10(b): chase-based CFD_Checking accuracy vs K_CFD ---------------- *)
 
@@ -70,7 +69,7 @@ let fig10b scale =
         | exception Cfd_consistency.Budget_exceeded -> None)
       rels
   in
-  List.iter
+  series (Workloads.fig10b_kcfd scale)
     (fun k_cfd ->
       with_series_metrics (Printf.sprintf "fig10b/kcfd=%d" k_cfd) @@ fun () ->
       let hits =
@@ -87,7 +86,6 @@ let fig10b scale =
              truth)
       in
       row "%-10d %-12.1f@." k_cfd (percentage hits (List.length truth)))
-    (Workloads.fig10b_kcfd scale)
 
 (* --- Fig 11: RandomChecking vs Checking ----------------------------------- *)
 
@@ -110,14 +108,14 @@ let run_algorithms ~consistent ~scale ~num_constraints seed =
   in
   (random_result, random_s, checking_result, checking_s)
 
-let fig11_sweep ~consistent ~title ~series scale =
+let fig11_sweep ~consistent ~title ~series:series_name scale =
   header title;
   row "%-14s %-18s %-18s %-14s %-14s@." "constraints" "random_acc(%)" "checking_acc(%)"
     "random(s)" "checking(s)";
   let trials = Workloads.trials scale in
-  List.iter
+  Util.series (Workloads.fig11_num_constraints scale)
     (fun n ->
-      with_series_metrics (Printf.sprintf "%s/constraints=%d" series n) @@ fun () ->
+      with_series_metrics (Printf.sprintf "%s/constraints=%d" series_name n) @@ fun () ->
       let results =
         List.init trials (fun i ->
             run_algorithms ~consistent ~scale ~num_constraints:n (n + (31 * i)))
@@ -133,7 +131,6 @@ let fig11_sweep ~consistent ~title ~series scale =
           random_s checking_s
       else
         row "%-14d %-18s %-18s %-14.4f %-14.4f@." n "-" "-" random_s checking_s)
-    (Workloads.fig11_num_constraints scale)
 
 let fig11a scale =
   fig11_sweep ~consistent:true
@@ -154,7 +151,7 @@ let fig11d scale =
   let ratio = Workloads.fig11d_ratio scale in
   row "(constraints per relation: %d)@." ratio;
   row "%-12s %-14s %-14s %-14s@." "relations" "constraints" "random(s)" "checking(s)";
-  List.iter
+  series (Workloads.fig11d_relations scale)
     (fun nrels ->
       with_series_metrics (Printf.sprintf "fig11d/relations=%d" nrels) @@ fun () ->
       let sconfig = Workloads.schema_config ~num_relations:nrels scale in
@@ -173,7 +170,6 @@ let fig11d scale =
             Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make 3) schema sigma))
       in
       row "%-12d %-14d %-14.4f %-14.4f@." nrels n random_s checking_s)
-    (Workloads.fig11d_relations scale)
 
 (* --- detection scalability ---------------------------------------------------
    The data-cleaning side of the paper's motivation: detect all CFD/CIND
@@ -193,7 +189,7 @@ let detection scale =
     | Workloads.Full -> [ 50; 100; 200; 400; 800 ]
     | Workloads.Quick -> [ 20; 40; 80; 160 ]
   in
-  List.iter
+  series sizes
     (fun n ->
       with_series_metrics (Printf.sprintf "detection/tuples=%d" n) @@ fun () ->
       let db = Workload.dirty_database (Rng.make n) schema ~tuples_per_rel:n ~error_rate:0.1 in
@@ -201,7 +197,6 @@ let detection scale =
       let fast, fast_s = time (fun () -> Conddep_cleaning.Fast_detect.detect db sigma) in
       assert (List.length naive = List.length fast);
       row "%-14d %-12.4f %-12.4f %-12d@." n naive_s fast_s (List.length fast))
-    sizes
 
 (* --- ablations -------------------------------------------------------------- *)
 
@@ -211,7 +206,7 @@ let ablation_pool_size scale =
   row "%-6s %-16s %-12s@." "N" "accuracy(%)" "checking(s)";
   let trials = Workloads.trials scale in
   let n_constraints = List.hd (List.rev (Workloads.fig11_num_constraints scale)) in
-  List.iter
+  series [ 1; 2; 4; 8 ]
     (fun pool_size ->
       with_series_metrics (Printf.sprintf "ablation-n/N=%d" pool_size) @@ fun () ->
       let config = { Conddep_chase.Chase.default_config with pool_size } in
@@ -231,7 +226,6 @@ let ablation_pool_size scale =
       row "%-6d %-16.1f %-12.4f@." pool_size
         (percentage hits trials)
         (mean (List.map snd results)))
-    [ 1; 2; 4; 8 ]
 
 (* Chase vs SAT backend inside Checking's preProcessing. *)
 let ablation_backend scale =
@@ -239,7 +233,7 @@ let ablation_backend scale =
   row "%-10s %-16s %-12s@." "backend" "accuracy(%)" "checking(s)";
   let trials = Workloads.trials scale in
   let n_constraints = List.hd (List.rev (Workloads.fig11_num_constraints scale)) in
-  List.iter
+  series [ ("chase", Cfd_checking.Chase_backend); ("sat", Cfd_checking.Sat_backend) ]
     (fun (name, backend) ->
       with_series_metrics (Printf.sprintf "ablation-backend/%s" name) @@ fun () ->
       let results =
@@ -258,4 +252,3 @@ let ablation_backend scale =
       row "%-10s %-16.1f %-12.4f@." name
         (percentage hits trials)
         (mean (List.map snd results)))
-    [ ("chase", Cfd_checking.Chase_backend); ("sat", Cfd_checking.Sat_backend) ]

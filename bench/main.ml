@@ -6,13 +6,17 @@
      dune exec bench/main.exe -- --full       # paper-scale sweeps
      dune exec bench/main.exe -- fig10a micro # selected sections only
      dune exec bench/main.exe -- --timeout 30 # per-series deadline (secs)
+     dune exec bench/main.exe -- --jobs 4     # series points in parallel
 
    Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
              ablation-n ablation-backend micro
 
    With --timeout, a series point that exceeds the deadline stops early
    and emits a `"timeout": true` metrics row instead of silently skewed
-   numbers. *)
+   numbers.  With --jobs N, each section's series points run concurrently
+   on N domains with output buffered back into submission order; every
+   point still gets the full per-series timeout (the deadline starts when
+   the point starts running, not when it is queued). *)
 
 let sections =
   [
@@ -33,7 +37,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let scale = if full then Workloads.Full else Workloads.Quick in
-  let rec strip_timeout = function
+  let rec strip_opts = function
     | [] -> []
     | [ "--timeout" ] ->
         Fmt.epr "--timeout needs an argument (seconds)@.";
@@ -42,13 +46,24 @@ let () =
         match float_of_string_opt secs with
         | Some t when t > 0. ->
             Util.series_timeout := Some t;
-            strip_timeout rest
+            strip_opts rest
         | _ ->
             Fmt.epr "--timeout expects a positive number of seconds, got %S@." secs;
             exit 2)
-    | a :: rest -> a :: strip_timeout rest
+    | [ "--jobs" ] ->
+        Fmt.epr "--jobs needs an argument (domain count)@.";
+        exit 2
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            Util.bench_jobs := j;
+            strip_opts rest
+        | _ ->
+            Fmt.epr "--jobs expects a positive domain count, got %S@." n;
+            exit 2)
+    | a :: rest -> a :: strip_opts rest
   in
-  let args = strip_timeout args in
+  let args = strip_opts args in
   let wanted = List.filter (fun a -> a <> "--full") args in
   let selected =
     if wanted = [] then sections

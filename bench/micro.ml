@@ -2,6 +2,7 @@ open Bechamel
 open Toolkit
 open Conddep_relational
 open Conddep_core
+open Conddep_chase
 open Conddep_consistency
 open Conddep_generator
 
@@ -127,7 +128,164 @@ let tests () =
       (Staged.stage (fun () -> Sigma.holds B.dirty_db B.sigma));
   ]
 
+(* --- parallel execution + hot-path indexing micro section -------------------
+
+   Measures the PR-tracked perf trajectory and writes it to
+   BENCH_parallel.json:
+
+   - RandomChecking on the Fig 10(b) needle profile (per-relation secrets,
+     pattern-free CINDs — random search must grind through K runs) at
+     1 / 2 / 4 domains, same seed.  The K runs are independent, so on
+     multicore hardware wall-clock scales with the domain count; the
+     verdict is asserted bit-identical across jobs counts.  The JSON
+     records the machine's [recommended_domain_count] so a 1-core CI
+     container's flat numbers read as what they are.
+   - The chase witness-scan vs witness-index ablation, single-threaded:
+     the same IND chase over a growing relation with [indexed:false]
+     (per-step O(|R|) projection scans) and [indexed:true] (memoized
+     projection index) — results asserted identical. *)
+
+let needle_schema_config relations =
+  {
+    Schema_gen.num_relations = relations;
+    min_arity = 3;
+    max_arity = 5;
+    finite_ratio = 1.0;
+    finite_dom_min = 2;
+    finite_dom_max = 2;
+  }
+
+let needle_workload ~seed ~relations ~cinds =
+  let rng = Rng.make seed in
+  let schema = Schema_gen.generate rng (needle_schema_config relations) in
+  let sigma = Workload.needle_cfds rng schema in
+  let cind_config = { Workload.default with max_pattern = 0 } in
+  let cinds =
+    List.init cinds (Workload.gen_cind rng cind_config schema ~consistent:false)
+  in
+  (schema, { sigma with Sigma.ncinds = cinds })
+
+(* A chase input where witness scans dominate: N seed tuples in [lhs], one
+   pattern-free CIND into [rhs] — every tuple needs a fresh witness, and
+   the unindexed chase re-scans the growing [rhs] per candidate per step. *)
+let indexing_workload ~n =
+  let attrs () =
+    [
+      Conddep_relational.Attribute.make "a" Conddep_relational.Domain.string_inf;
+      Conddep_relational.Attribute.make "b" Conddep_relational.Domain.string_inf;
+    ]
+  in
+  let schema =
+    Db_schema.make
+      [
+        Conddep_relational.Schema.make "lhs" (attrs ());
+        Conddep_relational.Schema.make "rhs" (attrs ());
+      ]
+  in
+  let cind =
+    {
+      Cind.nf_name = "copy";
+      nf_lhs = "lhs";
+      nf_rhs = "rhs";
+      nf_x = [ "a" ];
+      nf_y = [ "a" ];
+      nf_xp = [];
+      nf_yp = [];
+    }
+  in
+  let compiled = Chase.compile schema { Sigma.ncfds = []; ncinds = [ cind ] } in
+  let db =
+    List.fold_left
+      (fun db i ->
+        Template.add db "lhs"
+          [|
+            Template.C (Value.Str (Printf.sprintf "a%d" i));
+            Template.C (Value.Str (Printf.sprintf "b%d" i));
+          |])
+      (Template.empty schema)
+      (List.init n Fun.id)
+  in
+  (schema, compiled, db)
+
+let parallel_section () =
+  Util.header "Parallel execution + hot-path indexing (BENCH_parallel.json)";
+  let schema, sigma = needle_workload ~seed:3 ~relations:8 ~cinds:20 in
+  let k = 96 in
+  let check jobs =
+    Random_checking.check ~jobs ~k ~k_cfd:40 ~rng:(Rng.make 7) schema sigma
+  in
+  let verdict = function
+    | Random_checking.Consistent db -> Fmt.str "consistent:%a" Database.pp db
+    | Random_checking.Unknown r -> "unknown:" ^ Guard.reason_to_string r
+  in
+  let timings = ref [] in
+  Util.row "%-28s %-12s %-10s@." "benchmark" "time(s)" "verdict";
+  List.iter
+    (fun jobs ->
+      Util.with_series_metrics (Printf.sprintf "micro-parallel/jobs=%d" jobs)
+      @@ fun () ->
+      let r, s = Util.time (fun () -> check jobs) in
+      timings := (Printf.sprintf "random_checking_needle_jobs%d_s" jobs, s) :: !timings;
+      Util.row "%-28s %-12.4f %-10s@."
+        (Printf.sprintf "needle k=%d jobs=%d" k jobs)
+        s
+        (match r with
+        | Random_checking.Consistent _ -> "consistent"
+        | Random_checking.Unknown _ -> "unknown"))
+    [ 1; 2; 4 ];
+  let identical =
+    let v1 = verdict (check 1) in
+    List.for_all (fun jobs -> String.equal v1 (verdict (check jobs))) [ 2; 4 ]
+  in
+  Util.row "verdicts bit-identical across jobs counts: %b@." identical;
+  let ischema, icompiled, idb = indexing_workload ~n:300 in
+  let chase ~indexed () =
+    Chase.run ~indexed
+      ~config:{ Chase.default_config with threshold = 100_000; max_steps = 100_000 }
+      ~rng:(Rng.make 11) ischema icompiled idb
+  in
+  let outcome_tuples = function
+    | Chase.Terminal t -> Some (List.length (Template.tuples t "rhs"))
+    | Chase.Undefined _ | Chase.Exhausted _ -> None
+  in
+  let scan_r = ref None and index_r = ref None in
+  Util.with_series_metrics "micro-parallel/index=off" (fun () ->
+      let r, s = Util.time (chase ~indexed:false) in
+      scan_r := Some (r, s));
+  Util.with_series_metrics "micro-parallel/index=on" (fun () ->
+      let r, s = Util.time (chase ~indexed:true) in
+      index_r := Some (r, s));
+  let (scan_out, scan_s), (index_out, index_s) =
+    (Option.get !scan_r, Option.get !index_r)
+  in
+  assert (outcome_tuples scan_out = outcome_tuples index_out);
+  Util.row "%-28s %-12.4f (per-step O(|R|) witness scans)@." "chase unindexed" scan_s;
+  Util.row "%-28s %-12.4f (memoized projection index)@." "chase indexed" index_s;
+  Util.row "indexing speedup: %.2fx; identical chase results: true@."
+    (if index_s > 0. then scan_s /. index_s else Float.nan);
+  let jobs1_s = List.assoc "random_checking_needle_jobs1_s" !timings in
+  let jobs4_s = List.assoc "random_checking_needle_jobs4_s" !timings in
+  let oc = open_out "BENCH_parallel.json" in
+  let j = Printf.fprintf in
+  j oc "{\n";
+  List.iter
+    (fun (key, s) -> j oc "  %S: %.6f,\n" key s)
+    (List.rev !timings);
+  j oc "  \"needle_speedup_jobs4\": %.4f,\n"
+    (if jobs4_s > 0. then jobs1_s /. jobs4_s else Float.nan);
+  j oc "  \"verdicts_identical_across_jobs\": %b,\n" identical;
+  j oc "  \"chase_unindexed_s\": %.6f,\n" scan_s;
+  j oc "  \"chase_indexed_s\": %.6f,\n" index_s;
+  j oc "  \"indexing_speedup\": %.4f,\n"
+    (if index_s > 0. then scan_s /. index_s else Float.nan);
+  j oc "  \"recommended_domain_count\": %d\n" (Stdlib.Domain.recommended_domain_count ());
+  j oc "}\n";
+  close_out oc;
+  Util.row "wrote BENCH_parallel.json (recommended_domain_count=%d)@."
+    (Stdlib.Domain.recommended_domain_count ())
+
 let run () =
+  parallel_section ();
   Util.header "Bechamel micro-benchmarks (one per table/figure)";
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]

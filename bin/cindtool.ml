@@ -538,6 +538,7 @@ type globals = {
   g_metrics : string option;
   g_timeout : float option;
   g_fuel : int option;
+  g_jobs : int option;
 }
 
 let extract_globals argv =
@@ -557,6 +558,11 @@ let extract_globals argv =
     | Some n when n > 0 -> Ok (Some n)
     | _ -> Error (Printf.sprintf "--fuel expects a positive step count, got %S" s)
   in
+  let jobs_of s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (Some n)
+    | _ -> Error (Printf.sprintf "--jobs expects a positive domain count, got %S" s)
+  in
   let rec go g = function
     | [] -> Ok { g with g_rest = List.rev g.g_rest }
     | "--trace" :: rest -> go { g with g_trace = true } rest
@@ -571,6 +577,11 @@ let extract_globals argv =
     | "--fuel" :: n :: rest -> (
         match fuel_of n with
         | Ok f -> go { g with g_fuel = f } rest
+        | Error _ as e -> e)
+    | [ "--jobs" ] -> Error "option --jobs needs an argument"
+    | "--jobs" :: n :: rest -> (
+        match jobs_of n with
+        | Ok j -> go { g with g_jobs = j } rest
         | Error _ as e -> e)
     | arg :: rest -> (
         match split_eq "--metrics=" arg with
@@ -587,10 +598,23 @@ let extract_globals argv =
                     match fuel_of n with
                     | Ok f -> go { g with g_fuel = f } rest
                     | Error _ as e -> e)
-                | None -> go { g with g_rest = arg :: g.g_rest } rest)))
+                | None -> (
+                    match split_eq "--jobs=" arg with
+                    | Some n -> (
+                        match jobs_of n with
+                        | Ok j -> go { g with g_jobs = j } rest
+                        | Error _ as e -> e)
+                    | None -> go { g with g_rest = arg :: g.g_rest } rest))))
   in
   go
-    { g_rest = []; g_trace = false; g_metrics = None; g_timeout = None; g_fuel = None }
+    {
+      g_rest = [];
+      g_trace = false;
+      g_metrics = None;
+      g_timeout = None;
+      g_fuel = None;
+      g_jobs = None;
+    }
     argv
 
 let setup_telemetry ~trace ~metrics =
@@ -609,6 +633,15 @@ let setup_telemetry ~trace ~metrics =
 let setup_guard ~timeout ~fuel =
   if timeout <> None || fuel <> None then
     Guard.set_ambient (Guard.make ?timeout_s:timeout ?fuel ())
+
+(* --jobs sets the process-wide default that every ?jobs parameter
+   (Checking.check, Random_checking.check, workload generation) inherits;
+   verdicts and exit codes are identical at any jobs count for a fixed
+   seed — only wall-clock changes. *)
+let setup_jobs ~jobs =
+  match jobs with
+  | Some j -> Parallel.set_default_jobs j
+  | None -> ()
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -634,6 +667,16 @@ let () =
          invocation by a deterministic step budget (decision-procedure \
          steps); exhaustion behaves like $(b,--timeout) but is reproducible \
          across machines.";
+      `P
+        "$(b,--jobs) $(i,N) (anywhere on the command line) sets the \
+         process-wide domain count for the randomized consistency \
+         heuristics (default 1, or the $(b,JOBS) environment variable): \
+         $(b,check-consistency) fans its K random runs across the domains \
+         and races the chase and SAT backends; $(b,gen) accepts the flag \
+         like every global so generated-then-checked pipelines can pass it \
+         uniformly (generation itself is deterministic from $(b,--seed)).  \
+         Verdicts, witnesses and exit codes are identical to $(b,--jobs 1) \
+         for a fixed seed; only wall-clock time changes.";
     ]
   in
   let info =
@@ -647,6 +690,7 @@ let () =
   | Ok g ->
       setup_telemetry ~trace:g.g_trace ~metrics:g.g_metrics;
       setup_guard ~timeout:g.g_timeout ~fuel:g.g_fuel;
+      setup_jobs ~jobs:g.g_jobs;
       let argv = Array.of_list (Sys.argv.(0) :: g.g_rest) in
       let group =
         Cmd.group info

@@ -42,6 +42,7 @@ type outcome =
 (* --- compiled constraints (attribute names resolved to positions) --- *)
 
 type compiled_cind = {
+  i_uid : int; (* process-unique, keys the witness index *)
   i_name : string;
   i_lhs : string;
   i_rhs : string;
@@ -50,6 +51,10 @@ type compiled_cind = {
   i_yp : (int * Value.t) list;
   i_rest : (int * string * Domain.t) list; (* unconstrained RHS fields *)
 }
+
+(* Compilation can happen on any domain (racing pipelines compile
+   independently), so the uid source is atomic. *)
+let cind_uids = Atomic.make 0
 
 type compiled_cfd = {
   f_name : string;
@@ -66,13 +71,16 @@ let compile_cind schema (nf : Cind.nf) =
     List.map2 (fun a b -> (Schema.position r1 a, Schema.position r2 b)) nf.nf_x nf.nf_y
   in
   let yp = List.map (fun (b, v) -> (Schema.position r2 b, v)) nf.nf_yp in
-  let determined = List.map snd copy @ List.map fst yp in
+  let determined = Array.make (Schema.arity r2) false in
+  List.iter (fun (_, ypos) -> determined.(ypos) <- true) copy;
+  List.iter (fun (pos, _) -> determined.(pos) <- true) yp;
   let rest =
-    List.filteri (fun pos _ -> not (List.mem pos determined)) (Schema.attrs r2)
+    List.filteri (fun pos _ -> not determined.(pos)) (Schema.attrs r2)
     |> List.map (fun attr ->
            (Schema.position r2 (Attribute.name attr), Attribute.name attr, Attribute.domain attr))
   in
   {
+    i_uid = Atomic.fetch_and_add cind_uids 1;
     i_name = nf.nf_name;
     i_lhs = nf.nf_lhs;
     i_rhs = nf.nf_rhs;
@@ -219,6 +227,96 @@ let has_witness cind db (ta : Template.tuple) =
            cind.i_yp)
     (Template.tuples db cind.i_rhs)
 
+(* --- witness index ---
+
+   [has_witness] above scans the whole RHS relation once per LHS tuple per
+   IND step, which dominates chase time as templates grow.  The index
+   replaces the scan by a hash lookup: each RHS tuple is keyed by its
+   projection onto the copied positions and the tp[Yp] positions, so a
+   witness for [ta] exists iff the key built from ta[Xq] and tp[Yp] is
+   present.  Cells are encoded as integers — constants by their interned
+   value id ([Interner.id]), variables by a small per-index counter — so
+   key comparison never traverses values.
+
+   Staleness is detected by physical identity: templates are persistent and
+   threaded linearly through the chase, so [ix_db != db] exactly means the
+   template changed since the last refresh (an FD substitution or an insert
+   into another relation allocates a new record).  A stale index is rebuilt
+   in one O(|R|) pass — the cost of a single scan, amortized over every
+   lookup it replaces — while an IND insert into our own RHS is folded in
+   incrementally. *)
+
+let m_index_rebuilds =
+  Telemetry.counter "chase.index_rebuilds" ~doc:"witness-index full rebuilds (template changed)"
+
+type cind_index = {
+  mutable ix_db : Template.t option; (* template the entries reflect *)
+  ix_tbl : (int list, unit) Hashtbl.t;
+  ix_vars : (Template.var, int) Hashtbl.t; (* local variable encoder *)
+  mutable ix_nvars : int;
+}
+
+type witness_index = (int, cind_index) Hashtbl.t
+
+let witness_index () : witness_index = Hashtbl.create 16
+
+let encode_cell ix = function
+  | Template.C v -> 2 * Interner.id v
+  | Template.V var -> (
+      match Hashtbl.find_opt ix.ix_vars var with
+      | Some id -> (2 * id) + 1
+      | None ->
+          let id = ix.ix_nvars in
+          ix.ix_nvars <- id + 1;
+          Hashtbl.add ix.ix_vars var id;
+          (2 * id) + 1)
+
+(* Key of an RHS tuple: its cells at the copied positions, then at the
+   tp[Yp] positions.  A witness must carry the constant at each Yp
+   position, so a variable there encodes differently and (correctly)
+   never matches the probe. *)
+let witness_key ix cind (tb : Template.tuple) =
+  List.map (fun (_, ypos) -> encode_cell ix tb.(ypos)) cind.i_copy
+  @ List.map (fun (pos, _) -> encode_cell ix tb.(pos)) cind.i_yp
+
+(* Probe for an LHS tuple: ta's cells at the source positions, then the
+   tp[Yp] constants themselves. *)
+let probe_key ix cind (ta : Template.tuple) =
+  List.map (fun (xpos, _) -> encode_cell ix ta.(xpos)) cind.i_copy
+  @ List.map (fun (_, v) -> encode_cell ix (Template.C v)) cind.i_yp
+
+let cind_index_for (wix : witness_index) cind db =
+  let ix =
+    match Hashtbl.find_opt wix cind.i_uid with
+    | Some ix -> ix
+    | None ->
+        let ix =
+          { ix_db = None; ix_tbl = Hashtbl.create 64; ix_vars = Hashtbl.create 16; ix_nvars = 0 }
+        in
+        Hashtbl.replace wix cind.i_uid ix;
+        ix
+  in
+  (match ix.ix_db with
+  | Some db' when db' == db -> ()
+  | _ ->
+      Telemetry.incr m_index_rebuilds;
+      Hashtbl.reset ix.ix_tbl;
+      List.iter
+        (fun tb -> Hashtbl.replace ix.ix_tbl (witness_key ix cind tb) ())
+        (Template.tuples db cind.i_rhs);
+      ix.ix_db <- Some db);
+  ix
+
+(* Fold a just-inserted RHS tuple into the index: [db'] differs from the
+   indexed template only by [tb] (the caller probed against [ix.ix_db]
+   immediately before the insert). *)
+let index_note_add (wix : witness_index) cind db' tb =
+  match Hashtbl.find_opt wix cind.i_uid with
+  | None -> ()
+  | Some ix ->
+      Hashtbl.replace ix.ix_tbl (witness_key ix cind tb) ();
+      ix.ix_db <- Some db'
+
 (* Build the witness tuple IND(ψ) inserts for [ta].  In instantiated mode,
    unconstrained finite-domain fields take random constants instead of pool
    variables (Section 5.2, simplification (a)). *)
@@ -242,12 +340,22 @@ type ind_result =
 
 (* One IND(ψ) application to the first triggering tuple without witness.
    The relation-size threshold T is enforced unconditionally — Section 5.1
-   frames the whole extension as a chase over bounded-size tables. *)
-let ind_step ~instantiated ~threshold pool rng schema cind db =
+   frames the whole extension as a chase over bounded-size tables.
+   [?index] memoizes the witness check across steps; the indexed and
+   unindexed paths compute the same boolean, so results are identical
+   (the bench compares them for the pre/post-indexing numbers). *)
+let ind_step ?index ~instantiated ~threshold pool rng schema cind db =
+  let witnessed =
+    match index with
+    | None -> fun ta -> has_witness cind db ta
+    | Some wix ->
+        let ix = cind_index_for wix cind db in
+        fun ta -> Hashtbl.mem ix.ix_tbl (probe_key ix cind ta)
+  in
   let rec go = function
     | [] -> Ind_unchanged
     | ta :: rest ->
-        if triggers cind ta && not (has_witness cind db ta) then
+        if triggers cind ta && not (witnessed ta) then
           if Template.cardinal db cind.i_rhs >= threshold then begin
             Telemetry.incr m_threshold_hits;
             Ind_overflow
@@ -256,9 +364,12 @@ let ind_step ~instantiated ~threshold pool rng schema cind db =
           end
           else begin
             Telemetry.incr m_ind_steps;
-            Ind_changed
-              (Template.add db cind.i_rhs
-                 (witness_tuple ~instantiated pool rng schema cind ta))
+            let tb = witness_tuple ~instantiated pool rng schema cind ta in
+            let db' = Template.add db cind.i_rhs tb in
+            (match index with
+            | Some wix -> index_note_add wix cind db' tb
+            | None -> ());
+            Ind_changed db'
           end
         else go rest
   in
@@ -269,11 +380,12 @@ let ind_step ~instantiated ~threshold pool rng schema cind db =
 (* The terminal chase: apply FD and IND operations until fixpoint.  With
    [instantiated] set this is chase_I of Section 5.2 (bounded relations,
    constants for finite-domain fields). *)
-let run ?(instantiated = false) ?budget ~config ~rng schema compiled db =
+let run ?(instantiated = false) ?(indexed = true) ?budget ~config ~rng schema compiled db =
   Telemetry.incr m_runs;
   let budget = Guard.resolve budget in
   Telemetry.with_span "chase.run" @@ fun () ->
   let pool = Pool.make ~n:config.pool_size in
+  let index = if indexed then Some (witness_index ()) else None in
   (* config.max_steps is local fuel for the IND loop, replacing the bare
      step counter; each iteration also polls the shared budget's clock
      (chase steps are heavy, so a lazy poll would overshoot deadlines). *)
@@ -288,8 +400,8 @@ let run ?(instantiated = false) ?budget ~config ~rng schema compiled db =
           | [] -> Terminal db
           | cind :: rest -> (
               match
-                ind_step ~instantiated ~threshold:config.threshold pool rng schema cind
-                  db
+                ind_step ?index ~instantiated ~threshold:config.threshold pool rng
+                  schema cind db
               with
               | Ind_changed db' ->
                   Guard.tick fuel;
@@ -327,6 +439,7 @@ let conclusion_constants schema cfds =
 
 let instantiate_finite_vars ?(prefer = fun _ _ -> []) ?(avoid = []) rng db =
   let schema = Template.schema db in
+  let avoid_set = Value.Set.of_list avoid in
   List.fold_left
     (fun db v ->
       let r = Db_schema.find schema v.Template.vrel in
@@ -338,13 +451,14 @@ let instantiate_finite_vars ?(prefer = fun _ _ -> []) ?(avoid = []) rng db =
              - pick a value some CFD conclusion will demand of this column;
              - otherwise prefer a pattern-free value (matches nothing, like
                a fresh value of an infinite domain). *)
-          let in_dom = List.filter (fun x -> List.exists (Value.equal x) values) in
+          let dom_set = Value.Set.of_list values in
+          let in_dom = List.filter (fun x -> Value.Set.mem x dom_set) in
           let column =
             in_dom (Template.column_constants db ~rel:v.vrel ~attr:v.vattr)
           in
           let demanded = in_dom (prefer v.Template.vrel v.vattr) in
           let pattern_free =
-            List.filter (fun x -> not (List.exists (Value.equal x) avoid)) values
+            List.filter (fun x -> not (Value.Set.mem x avoid_set)) values
           in
           let pool =
             if column <> [] && Rng.int rng 10 < 6 then column

@@ -59,7 +59,20 @@ type ind_result =
   | Ind_unchanged
   | Ind_overflow of string  (** threshold T exceeded (instantiated mode) *)
 
+type witness_index
+(** Memoized per-CIND projection index over RHS relations: turns the
+    per-tuple witness scan of {!ind_step} into a hash lookup keyed on
+    interned cell ids.  Owned by one chase run (not domain-safe);
+    staleness is detected by physical identity of the template, so any FD
+    substitution or foreign insert triggers a lazy O(|R|) rebuild while
+    own-relation inserts are folded in incrementally.  Indexed and
+    unindexed runs compute identical results. *)
+
+val witness_index : unit -> witness_index
+(** A fresh, empty index cache. *)
+
 val ind_step :
+  ?index:witness_index ->
   instantiated:bool ->
   threshold:int ->
   Pool.t ->
@@ -68,12 +81,15 @@ val ind_step :
   compiled_cind ->
   Template.t ->
   ind_result
-(** One IND(ψ) application to the first triggering tuple lacking a witness. *)
+(** One IND(ψ) application to the first triggering tuple lacking a
+    witness.  [index] memoizes the witness check across steps; without it
+    each check scans the RHS relation. *)
 
 (** {1 Full chase} *)
 
 val run :
   ?instantiated:bool ->
+  ?indexed:bool ->
   ?budget:Guard.t ->
   config:config ->
   rng:Rng.t ->
@@ -82,6 +98,9 @@ val run :
   Template.t ->
   outcome
 (** Run the chase to termination.  [instantiated:true] gives chase_I.
+    [indexed] (default [true]) memoizes witness checks with a
+    {!witness_index}; [indexed:false] keeps the O(|R|) scans (the bench's
+    pre-indexing baseline — results are identical either way).
     [config.max_steps] is enforced as local step fuel; [budget] carries the
     caller's shared deadline/fuel. *)
 

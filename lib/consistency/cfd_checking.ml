@@ -42,14 +42,23 @@ let check_template ?budget ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
       match Template.finite_variables db with
       | [] -> Some db
       | _ ->
+          (* Group the demanded constants by interned (relation, attribute)
+             once, instead of a string-comparing scan per variable per
+             K_CFD attempt. *)
           let demanded =
             Chase.conclusion_constants (Template.schema db) compiled_cfds
           in
+          let demanded_tbl = Hashtbl.create 16 in
+          List.iter
+            (fun ((r, a), v) ->
+              let key = (Interner.symbol r, Interner.symbol a) in
+              Hashtbl.replace demanded_tbl key
+                (v :: Option.value ~default:[] (Hashtbl.find_opt demanded_tbl key)))
+            demanded;
+          Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) demanded_tbl;
           let prefer rel attr =
-            List.filter_map
-              (fun ((r, a), v) ->
-                if String.equal r rel && String.equal a attr then Some v else None)
-              demanded
+            Option.value ~default:[]
+              (Hashtbl.find_opt demanded_tbl (Interner.symbol rel, Interner.symbol attr))
           in
           let rec attempts k =
             if k <= 0 then begin

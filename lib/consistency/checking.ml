@@ -19,40 +19,114 @@ let m_inconsistent = Telemetry.counter "checking.results_inconsistent" ~doc:"Che
 let m_unknown = Telemetry.counter "checking.results_unknown" ~doc:"Checking answers: budgets exhausted"
 let m_components_tried = Telemetry.counter "checking.components_tried" ~doc:"weakly connected components run through RandomChecking"
 
-let check ?backend ?budget ?config ?k ?k_cfd ~rng schema (sigma : Sigma.nf) =
+(* One full pipeline (preProcessing + per-component RandomChecking) with a
+   fixed backend. *)
+let pipeline ?backend ~budget ?config ?k ?k_cfd ~jobs ~rng schema
+    (sigma : Sigma.nf) =
+  try
+    Guard.probe ~budget "checking.check";
+    match Preprocessing.run ?backend ~budget ?k_cfd ~rng schema sigma with
+    | Preprocessing.Consistent db -> Consistent db
+    | Preprocessing.Inconsistent -> Inconsistent
+    | Preprocessing.Unknown components ->
+        (* [Guard.Fuel] is the ordinary "budgets K / K_CFD exhausted"
+           answer; a component cut short for a sharper reason (deadline,
+           fault, ...) reports that reason instead — first one wins. *)
+        let rec try_components reason = function
+          | [] -> Unknown reason
+          | (members, component_sigma) :: rest -> (
+              Guard.check budget;
+              Telemetry.incr m_components_tried;
+              match
+                Random_checking.check ~budget ?config ?k ?k_cfd
+                  ~seed_rels:members ~jobs ~rng schema component_sigma
+              with
+              | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
+                  Consistent db
+              | Random_checking.Consistent _ -> try_components reason rest
+              | Random_checking.Unknown r ->
+                  let reason =
+                    match reason with Guard.Fuel -> r | _ -> reason
+                  in
+                  try_components reason rest)
+        in
+        try_components Guard.Fuel components
+  with Guard.Exhausted r -> Unknown r
+
+(* Race the chase-based and SAT-based pipelines (Fig 10a's two backends as
+   a portfolio).  Soundness of the merge:
+   - [Consistent] is verified against Σ by either pipeline, so whichever
+     arrives is correct — a winner cancels the sibling;
+   - SAT-pipeline [Inconsistent] is definitive (the SAT backend is a
+     complete decision procedure for the single-tuple CFD problem, and
+     raises rather than answer under exhaustion), so it too cancels;
+   - chase-pipeline [Inconsistent] is heuristic (its CFD_Checking is
+     K_CFD-bounded, Fig 10b): it is held as provisional and reported only
+     if the SAT pipeline ends [Unknown].
+   The two verdicts cannot contradict: a verified witness proves Σ
+   consistent, which a sound SAT [Inconsistent] would refute. *)
+let check_race ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
+  (* Fixed split order: chase first, SAT second. *)
+  let rng_chase = Rng.split rng in
+  let rng_sat = Rng.split rng in
+  let inner_jobs = max 1 (jobs / 2) in
+  let recorded : result option array = [| None; None |] in
+  let arm i backend rng tok =
+    let child = Guard.child ~cancel:tok budget in
+    let r =
+      pipeline ~backend ~budget:child ?config ?k ?k_cfd ~jobs:inner_jobs ~rng
+        schema sigma
+    in
+    recorded.(i) <- Some r;
+    r
+  in
+  let definitive i =
+    match recorded.(i) with
+    | Some (Consistent _) -> true
+    | Some Inconsistent -> i = 1 (* SAT only; chase Inconsistent is provisional *)
+    | _ -> false
+  in
+  let outcomes =
+    Parallel.with_pool ~jobs:2 (fun pool ->
+        Parallel.run_race pool ~cancel_rest:definitive
+          [
+            (fun tok -> arm 0 Cfd_checking.Chase_backend rng_chase tok);
+            (fun tok -> arm 1 Cfd_checking.Sat_backend rng_sat tok);
+          ])
+  in
+  let norm = function
+    | Ok r -> r
+    | Error (Guard.Exhausted r) -> Unknown r
+    | Error e -> raise e
+  in
+  match List.map norm outcomes with
+  | [ chase_r; sat_r ] -> (
+      match (chase_r, sat_r) with
+      (* Injected faults are never swallowed, not even by a verified
+         witness from the sibling — same invariant as [Guard.recoverable]. *)
+      | Unknown (Guard.Fault _ as f), _ | _, Unknown (Guard.Fault _ as f) ->
+          Unknown f
+      | Consistent db, _ -> Consistent db
+      | _, Consistent db -> Consistent db
+      | _, Inconsistent -> Inconsistent
+      | Inconsistent, Unknown _ -> Inconsistent
+      | Unknown r1, Unknown r2 ->
+          Unknown (match r1 with Guard.Fuel -> r2 | _ -> r1))
+  | _ -> assert false
+
+let check ?backend ?budget ?config ?k ?k_cfd ?jobs ~rng schema
+    (sigma : Sigma.nf) =
   Telemetry.incr m_calls;
   let budget = Guard.resolve budget in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
   Telemetry.with_span "checking.check" @@ fun () ->
   let result =
-    try
-      Guard.probe ~budget "checking.check";
-      match Preprocessing.run ?backend ~budget ?k_cfd ~rng schema sigma with
-      | Preprocessing.Consistent db -> Consistent db
-      | Preprocessing.Inconsistent -> Inconsistent
-      | Preprocessing.Unknown components ->
-          (* [Guard.Fuel] is the ordinary "budgets K / K_CFD exhausted"
-             answer; a component cut short for a sharper reason (deadline,
-             fault, ...) reports that reason instead — first one wins. *)
-          let rec try_components reason = function
-            | [] -> Unknown reason
-            | (members, component_sigma) :: rest -> (
-                Guard.check budget;
-                Telemetry.incr m_components_tried;
-                match
-                  Random_checking.check ~budget ?config ?k ?k_cfd
-                    ~seed_rels:members ~rng schema component_sigma
-                with
-                | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
-                    Consistent db
-                | Random_checking.Consistent _ -> try_components reason rest
-                | Random_checking.Unknown r ->
-                    let reason =
-                      match reason with Guard.Fuel -> r | _ -> reason
-                    in
-                    try_components reason rest)
-          in
-          try_components Guard.Fuel components
-    with Guard.Exhausted r -> Unknown r
+    match backend with
+    | None when jobs >= 2 ->
+        check_race ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma
+    | _ -> pipeline ?backend ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma
   in
   (match result with
   | Consistent _ -> Telemetry.incr m_consistent

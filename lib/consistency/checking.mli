@@ -21,11 +21,21 @@ val check :
   ?config:Chase.config ->
   ?k:int ->
   ?k_cfd:int ->
+  ?jobs:int ->
   rng:Rng.t ->
   Db_schema.t ->
   Sigma.nf ->
   result
-(** [budget] defaults to the ambient budget ([Guard.resolve]). *)
+(** [budget] defaults to the ambient budget ([Guard.resolve]).
+
+    [jobs] (default {!Parallel.default_jobs}): with [jobs >= 2] and no
+    forced [backend], the chase-based and SAT-based pipelines race as a
+    portfolio — a verified witness from either, or a definitive SAT
+    [Inconsistent], cancels the sibling; a chase [Inconsistent] (heuristic,
+    K_CFD-bounded) is reported only when the SAT side ends [Unknown].  The
+    remaining jobs fan each pipeline's RandomChecking runs.  With a forced
+    [backend], [jobs] only parallelises RandomChecking (whose verdict is
+    seed-deterministic at any jobs count). *)
 
 val to_bool : result -> bool
 (** The paper's boolean answer: [true] only for [Consistent]. *)

@@ -4,30 +4,39 @@ open Conddep_core
 (* The dependency graph G[Σ] of Section 5.3: one vertex per relation,
    carrying CFD(R); an edge Ri -> Rj for each nonempty CIND(Ri, Rj).
    preProcessing mutates the graph (extends CFD sets, deletes vertices), so
-   the structure is imperative. *)
+   the structure is imperative.
+
+   Internally every vertex is the relation's interned symbol id
+   ([Interner.symbol]): traversals (Tarjan, union-find, liveness) hash and
+   compare ints instead of re-hashing strings on every step.  The public
+   API stays in terms of relation names. *)
+
+let sym = Interner.symbol
+let name = Interner.symbol_name
 
 type t = {
   schema : Db_schema.t;
-  cfds : (string, Cfd.nf list) Hashtbl.t;
+  cfds : (int, Cfd.nf list) Hashtbl.t;
   all_cinds : Cind.nf list;
-  edge_labels : (string * string, Cind.nf list) Hashtbl.t; (* src, dst *)
-  out_edges : (string, string list) Hashtbl.t;
-  in_edges : (string, string list) Hashtbl.t;
-  mutable live : string list;
+  edge_labels : (int * int, Cind.nf list) Hashtbl.t; (* src, dst *)
+  out_edges : (int, int list) Hashtbl.t;
+  in_edges : (int, int list) Hashtbl.t;
+  mutable live : int list; (* deterministic (schema) order *)
+  live_set : (int, unit) Hashtbl.t; (* O(1) membership *)
 }
 
 let make schema (sigma : Sigma.nf) =
   let cfds = Hashtbl.create 16 in
-  let rels = Db_schema.rel_names schema in
+  let rels = List.map sym (Db_schema.rel_names schema) in
   List.iter
     (fun r ->
       Hashtbl.replace cfds r
-        (List.filter (fun c -> String.equal c.Cfd.nf_rel r) sigma.Sigma.ncfds))
+        (List.filter (fun c -> sym c.Cfd.nf_rel = r) sigma.Sigma.ncfds))
     rels;
   let edge_labels = Hashtbl.create 64 in
   List.iter
     (fun (c : Cind.nf) ->
-      let key = (c.Cind.nf_lhs, c.nf_rhs) in
+      let key = (sym c.Cind.nf_lhs, sym c.nf_rhs) in
       Hashtbl.replace edge_labels key
         (c :: Option.value ~default:[] (Hashtbl.find_opt edge_labels key)))
     sigma.ncinds;
@@ -39,32 +48,56 @@ let make schema (sigma : Sigma.nf) =
       Hashtbl.replace in_edges dst
         (src :: Option.value ~default:[] (Hashtbl.find_opt in_edges dst)))
     edge_labels;
-  { schema; cfds; all_cinds = sigma.Sigma.ncinds; edge_labels; out_edges; in_edges; live = rels }
+  let live_set = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace live_set r ()) rels;
+  {
+    schema;
+    cfds;
+    all_cinds = sigma.Sigma.ncinds;
+    edge_labels;
+    out_edges;
+    in_edges;
+    live = rels;
+    live_set;
+  }
 
 let schema t = t.schema
-let live t = t.live
-let is_live t r = List.mem r t.live
+let live t = List.map name t.live
+let live_id t r = Hashtbl.mem t.live_set r
+let is_live t r = live_id t (sym r)
 
-let cfd_set t r = match Hashtbl.find_opt t.cfds r with Some l -> l | None -> []
+let cfd_set_id t r = match Hashtbl.find_opt t.cfds r with Some l -> l | None -> []
+let cfd_set t r = cfd_set_id t (sym r)
 
-let add_cfds t r extra = Hashtbl.replace t.cfds r (extra @ cfd_set t r)
+let add_cfds t r extra =
+  let r = sym r in
+  Hashtbl.replace t.cfds r (extra @ cfd_set_id t r)
 
-let remove t r = t.live <- List.filter (fun x -> not (String.equal x r)) t.live
+let remove t r =
+  let r = sym r in
+  Hashtbl.remove t.live_set r;
+  t.live <- List.filter (fun x -> x <> r) t.live
 
 (* CINDs of Σ between two live vertices — the edge label CIND(Ri, Rj). *)
 let cinds_between t ~src ~dst =
-  Option.value ~default:[] (Hashtbl.find_opt t.edge_labels (src, dst))
+  Option.value ~default:[] (Hashtbl.find_opt t.edge_labels (sym src, sym dst))
 
-let successors t r =
-  List.filter (is_live t) (Option.value ~default:[] (Hashtbl.find_opt t.out_edges r))
+let successors_id t r =
+  List.filter (live_id t) (Option.value ~default:[] (Hashtbl.find_opt t.out_edges r))
+
+let successors t r = List.map name (successors_id t (sym r))
 
 let predecessors t r =
-  List.filter (is_live t) (Option.value ~default:[] (Hashtbl.find_opt t.in_edges r))
+  List.map name
+    (List.filter (live_id t)
+       (Option.value ~default:[] (Hashtbl.find_opt t.in_edges (sym r))))
 
 let indegree t r = List.length (predecessors t r)
 
-let edges t =
-  List.concat_map (fun s -> List.map (fun d -> (s, d)) (successors t s)) t.live
+let edges_id t =
+  List.concat_map (fun s -> List.map (fun d -> (s, d)) (successors_id t s)) t.live
+
+let edges t = List.map (fun (s, d) -> (name s, name d)) (edges_id t)
 
 (* Tarjan's strongly-connected-components algorithm.  SCCs are emitted in
    reverse topological order of the condensation: every SCC appears after
@@ -92,7 +125,7 @@ let sccs t =
         end
         else if Hashtbl.find_opt on_stack w = Some true then
           Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (successors t v);
+      (successors_id t v);
     if Hashtbl.find lowlink v = Hashtbl.find index v then begin
       let rec pop acc =
         match !stack with
@@ -100,13 +133,13 @@ let sccs t =
         | w :: rest ->
             stack := rest;
             Hashtbl.replace on_stack w false;
-            if String.equal w v then w :: acc else pop (w :: acc)
+            if w = v then w :: acc else pop (w :: acc)
       in
       components := pop [] :: !components
     end
   in
   List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) t.live;
-  List.rev !components
+  List.rev_map (List.map name) !components
 
 (* Topological processing order for Fig 7: flatten the SCCs in Tarjan's
    emission order (reverse topological on the condensation). *)
@@ -118,7 +151,7 @@ let weak_components t =
   let parent = Hashtbl.create 16 in
   let rec find r =
     match Hashtbl.find_opt parent r with
-    | Some p when not (String.equal p r) ->
+    | Some p when p <> r ->
         let root = find p in
         Hashtbl.replace parent r root;
         root
@@ -126,32 +159,35 @@ let weak_components t =
   in
   let union a b =
     let ra = find a and rb = find b in
-    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+    if ra <> rb then Hashtbl.replace parent ra rb
   in
   List.iter (fun r -> Hashtbl.replace parent r r) t.live;
-  List.iter (fun (s, d) -> union s d) (edges t);
+  List.iter (fun (s, d) -> union s d) (edges_id t);
   let groups = Hashtbl.create 16 in
   List.iter
     (fun r ->
       let root = find r in
-      Hashtbl.replace groups root (r :: (Option.value ~default:[] (Hashtbl.find_opt groups root))))
+      Hashtbl.replace groups root
+        (r :: Option.value ~default:[] (Hashtbl.find_opt groups root)))
     t.live;
-  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+  Hashtbl.fold (fun _ members acc -> List.rev_map name members :: acc) groups []
 
 (* The constraints over one component: its (extended) CFD sets plus the
    CINDs both of whose endpoints lie inside. *)
 let component_sigma t members =
+  let inside = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace inside (sym r) ()) members;
   {
     Sigma.ncfds = List.concat_map (cfd_set t) members;
     ncinds =
       List.filter
-        (fun c -> List.mem c.Cind.nf_lhs members && List.mem c.Cind.nf_rhs members)
+        (fun c -> Hashtbl.mem inside (sym c.Cind.nf_lhs) && Hashtbl.mem inside (sym c.nf_rhs))
         t.all_cinds;
   }
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>vertices: %a@,edges: %a@]"
     Fmt.(list ~sep:comma string)
-    t.live
+    (live t)
     Fmt.(list ~sep:comma (pair ~sep:(any "->") string string))
     (edges t)

@@ -89,20 +89,32 @@ let run ?backend ?budget ?k_cfd ~rng schema (sigma : Sigma.nf) =
   let avoid =
     List.map (fun (_, _, v) -> v) (Sigma.constants sigma) |> List.sort_uniq Value.compare
   in
+  (* The work queue and the CIND grouping key on interned symbol ids
+     (reusing the global table Depgraph vertices are keyed on), so
+     re-queueing and the per-vertex trigger test never re-hash relation
+     names. *)
   let queue = Queue.create () in
   let queued = Hashtbl.create 16 in
   let enqueue r =
-    if not (Hashtbl.mem queued r) then begin
-      Hashtbl.replace queued r ();
+    let rid = Interner.symbol r in
+    if not (Hashtbl.mem queued rid) then begin
+      Hashtbl.replace queued rid ();
       Queue.push r queue
     end
   in
+  let cinds_by_lhs = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Cind.nf) ->
+      let key = Interner.symbol c.Cind.nf_lhs in
+      Hashtbl.replace cinds_by_lhs key
+        (c :: Option.value ~default:[] (Hashtbl.find_opt cinds_by_lhs key)))
+    sigma.Sigma.ncinds;
   (* topo order = Tarjan's SCC emission order, flattened *)
   List.iter enqueue (List.concat sccs);
   let outcome = ref None in
   while !outcome = None && not (Queue.is_empty queue) do
     let r = Queue.pop queue in
-    Hashtbl.remove queued r;
+    Hashtbl.remove queued (Interner.symbol r);
     Guard.check budget;
     if Depgraph.is_live g r then begin
       match
@@ -111,7 +123,8 @@ let run ?backend ?budget ?k_cfd ~rng schema (sigma : Sigma.nf) =
       with
       | Some tau ->
           let triggering =
-            List.filter (fun c -> String.equal c.Cind.nf_lhs r) sigma.Sigma.ncinds
+            Option.value ~default:[]
+              (Hashtbl.find_opt cinds_by_lhs (Interner.symbol r))
             |> List.exists (fun c -> tuple_triggers schema c tau)
           in
           if not triggering then begin

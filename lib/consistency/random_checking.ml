@@ -22,6 +22,10 @@ let m_successes = Telemetry.counter "checking.random.successes" ~doc:"RandomChec
 
 let chase_run ~budget ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compiled) db =
   let pool = Pool.make ~n:config.Chase.pool_size in
+  (* Per-run witness index: each racing run owns its own cache (the index
+     is not domain-safe), and CFD substitutions between IND steps are
+     caught by the index's physical-identity staleness check. *)
+  let index = Chase.witness_index () in
   (* IND steps fill unknown fields with pool *variables* (instantiated:
      false): the interleaved CFD_Checking then chooses finite-domain values
      consistently, retrying up to K_CFD valuations — the improvement at the
@@ -44,8 +48,8 @@ let chase_run ~budget ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compil
             | [] -> Some db (* chase_I terminal *)
             | cind :: rest -> (
                 match
-                  Chase.ind_step ~instantiated:false ~threshold:config.Chase.threshold
-                    pool rng schema cind db
+                  Chase.ind_step ~index ~instantiated:false
+                    ~threshold:config.Chase.threshold pool rng schema cind db
                 with
                 | Chase.Ind_changed db' -> loop db' (steps + 1)
                 | Chase.Ind_unchanged -> try_cinds rest
@@ -57,8 +61,11 @@ let chase_run ~budget ~config ~k_cfd ~avoid ~rng schema (compiled : Chase.compil
   loop db 0
 
 let check ?budget ?(config = Chase.default_config) ?(k = 20) ?(k_cfd = 100) ?seed_rels
-    ~rng schema (sigma : Sigma.nf) =
+    ?jobs ~rng schema (sigma : Sigma.nf) =
   let budget = Guard.resolve budget in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
   try
     Guard.probe ~budget "checking.random";
     let compiled = Chase.compile schema sigma in
@@ -71,32 +78,67 @@ let check ?budget ?(config = Chase.default_config) ?(k = 20) ?(k_cfd = 100) ?see
     in
     if seed_rels = [] then Unknown Guard.Fuel
     else begin
-      let rec runs remaining =
-        if remaining <= 0 then begin
+      (* One run.  In first-success terms (least submission index wins):
+         - [Some (Ok db)]   — verified witness: stop, answer Consistent;
+         - [Some (Error r)] — the child budget's deadline / fuel pool /
+           parent cancellation ran dry, or a fault fired: these are the
+           shared limits, so stop and answer Unknown;
+         - [None]           — the run failed on its own local limits (or
+           was cancelled as a racing loser): keep trying. *)
+      let attempt run_rng tok =
+        let child = Guard.child ~cancel:tok budget in
+        Telemetry.incr m_runs;
+        match
+          let rel = Rng.pick run_rng seed_rels in
+          let db = Chase.seed_tuple schema ~rel in
+          Telemetry.with_span "checking.random_run" @@ fun () ->
+          chase_run ~budget:child ~config ~k_cfd ~avoid ~rng:run_rng schema
+            compiled db
+        with
+        | Some terminal ->
+            let concrete = Template.to_database ~avoid terminal in
+            if (not (Database.is_empty concrete)) && Sigma.nf_holds concrete sigma
+            then begin
+              Telemetry.incr m_successes;
+              Some (Ok concrete)
+            end
+            else None
+        | None -> None
+        | exception Guard.Exhausted Guard.Cancelled when Guard.is_cancelled tok
+          ->
+            None
+        | exception Guard.Exhausted r -> Some (Error r)
+      in
+      (* Fan the K runs out in waves of a few pool-fills rather than
+         materialising K generators (and tokens) up front — K can be set
+         very large when the caller governs by deadline instead.  Splitting
+         generators wave by wave from the same stream yields exactly the
+         per-run generators one big [split_n] would, so run i is
+         reproducible at any jobs count and any wave size; least-index
+         selection within a wave composes with the sequential wave order
+         into global least-index selection. *)
+      let wave = if jobs = 1 then 1 else min k (jobs * 4) in
+      let outcome =
+        Parallel.with_pool ~jobs (fun pool ->
+            let rec waves remaining =
+              if remaining <= 0 then None
+              else
+                let c = min wave remaining in
+                match
+                  Parallel.first_success pool attempt (Rng.split_n rng c)
+                with
+                | Some _ as stop -> stop
+                | None -> waves (remaining - c)
+            in
+            waves k)
+      in
+      match outcome with
+      | Some (Ok db) -> Consistent db
+      | Some (Error r) -> Unknown r
+      | None ->
           (* K exhausted: the heuristic gave up on its own step budget. *)
           Guard.reraise_if_spent budget;
           Unknown Guard.Fuel
-        end
-        else begin
-          Telemetry.incr m_runs;
-          let rel = Rng.pick rng seed_rels in
-          let db = Chase.seed_tuple schema ~rel in
-          match
-            Telemetry.with_span "checking.random_run" @@ fun () ->
-            chase_run ~budget ~config ~k_cfd ~avoid ~rng schema compiled db
-          with
-          | Some terminal ->
-              let concrete = Template.to_database ~avoid terminal in
-              if (not (Database.is_empty concrete)) && Sigma.nf_holds concrete sigma
-              then begin
-                Telemetry.incr m_successes;
-                Consistent concrete
-              end
-              else runs (remaining - 1)
-          | None -> runs (remaining - 1)
-        end
-      in
-      runs k
     end
   with Guard.Exhausted r -> Unknown r
 

@@ -21,6 +21,7 @@ val check :
   ?k:int ->
   ?k_cfd:int ->
   ?seed_rels:string list ->
+  ?jobs:int ->
   rng:Rng.t ->
   Db_schema.t ->
   Sigma.nf ->
@@ -28,6 +29,14 @@ val check :
 (** [k] is the number of random runs K (default 20, the paper's setting);
     [k_cfd] bounds the random valuations inside CFD_Checking; [seed_rels]
     restricts the starting relation (used per component by Checking);
-    [budget] (default: ambient) bounds the whole search. *)
+    [budget] (default: ambient) bounds the whole search.
+
+    [jobs] (default {!Parallel.default_jobs}) fans the K runs across a
+    domain pool; the first verified witness (in run order) cancels the
+    rest.  Each run draws from its own {!Rng.split_n} generator and the
+    winner is selected by least run index, so the verdict — and the
+    witness — for a fixed seed is identical at any [jobs] count (telemetry
+    counts are not: losers do a hardware-dependent amount of work before
+    observing cancellation). *)
 
 val to_bool : result -> bool

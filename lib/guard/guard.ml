@@ -31,23 +31,32 @@ let m_budgets = Telemetry.counter "guard.budgets_created" ~doc:"limited budgets 
 
 (* --- cancellation tokens --- *)
 
-type token = { mutable cancelled : bool }
+(* Atomic so a cancel on one domain is promptly visible to budget polls on
+   another — the parallel engine's first-success racing depends on it. *)
+type token = { cancelled : bool Atomic.t }
 
-let token () = { cancelled = false }
-let cancel tok = tok.cancelled <- true
-let is_cancelled tok = tok.cancelled
+let token () = { cancelled = Atomic.make false }
+let cancel tok = Atomic.set tok.cancelled true
+let is_cancelled tok = Atomic.get tok.cancelled
 
 (* --- budgets --- *)
 
 type t = {
   deadline : float option; (* absolute Unix time *)
   fuel_limited : bool;
-  mutable fuel : int;
+  fuel : int Atomic.t; (* shared with children across domains *)
   max_words : float option;
   words0 : float; (* Gc.minor_words at creation *)
   cancel : token option;
   mutable poll : int; (* countdown to the next clock/allocator poll *)
   mutable spent : reason option; (* sticky once exhausted *)
+  parent : t option; (* a child observes its parent's sticky exhaustion *)
+  governed : bool;
+      (* caller imposed a real limit (deadline / fuel / words), directly or
+         via a parent — the gate for environment-armed faults.  A budget
+         that exists only to carry a racing cancellation token is NOT
+         governed: racing on top of unbudgeted code must not invite env
+         faults into it. *)
 }
 
 (* How many ticks between clock/allocator polls.  Tick sites sit on
@@ -59,12 +68,14 @@ let unlimited =
   {
     deadline = None;
     fuel_limited = false;
-    fuel = max_int;
+    fuel = Atomic.make max_int;
     max_words = None;
     words0 = 0.;
     cancel = None;
     poll = max_int;
     spent = None;
+    parent = None;
+    governed = false;
   }
 
 let is_unlimited b = b == unlimited
@@ -77,16 +88,59 @@ let make ?timeout_s ?fuel ?max_words ?cancel () =
       {
         deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
         fuel_limited = fuel <> None;
-        fuel = Option.value ~default:max_int fuel;
+        fuel = Atomic.make (Option.value ~default:max_int fuel);
         max_words;
         words0 = (if max_words = None then 0. else Gc.minor_words ());
         cancel;
         poll = 0;
         spent = None;
+        parent = None;
+        governed = timeout_s <> None || fuel <> None || max_words <> None;
       }
+
+(* A child budget for a worker domain of the parallel engine: it shares the
+   parent's absolute deadline and fuel cell (fuel draws from the same pool,
+   atomically), observes the parent's sticky exhaustion at every poll, and
+   carries its own cancellation token so a racer can stop one sibling
+   without spending the parent.  The allocation ceiling is NOT inherited:
+   [Gc.minor_words] is a per-domain statistic, so a parent-domain baseline
+   would be meaningless on the worker. *)
+let child ?cancel parent =
+  if is_unlimited parent && cancel = None then unlimited
+  else begin
+    Telemetry.incr m_budgets;
+    {
+      deadline = parent.deadline;
+      fuel_limited = parent.fuel_limited;
+      fuel = parent.fuel;
+      max_words = None;
+      words0 = 0.;
+      cancel;
+      poll = 0;
+      spent = None;
+      parent = (if is_unlimited parent then None else Some parent);
+      governed = parent.governed;
+    }
+  end
 
 let exhaust b reason =
   b.spent <- Some reason;
+  (* Shared-state exhaustion is the parent's exhaustion too: a child drains
+     the same fuel pool and carries the same deadline, so the ancestors'
+     sticky flags must be set as well — callers inspect the parent
+     (typically the ambient budget) to tell "the shared limit cut the
+     search" from "the heuristic gave up".  Cancellation stays local: a
+     racing loser's token says nothing about its siblings or parent. *)
+  (match reason with
+  | Cancelled -> ()
+  | Deadline | Fuel | Memory | Fault _ ->
+      let rec mark = function
+        | Some p when p.spent = None ->
+            p.spent <- Some reason;
+            mark p.parent
+        | _ -> ()
+      in
+      mark b.parent);
   (match reason with
   | Deadline -> Telemetry.incr m_deadline
   | Fuel -> Telemetry.incr m_fuel
@@ -94,6 +148,24 @@ let exhaust b reason =
   | Cancelled -> Telemetry.incr m_cancelled
   | Fault _ -> Telemetry.incr m_faults);
   raise (Exhausted reason)
+
+(* A child inheriting its parent's exhaustion: sticky locally, but not
+   counted again (the parent already did). *)
+let propagate b reason =
+  b.spent <- Some reason;
+  raise (Exhausted reason)
+
+(* A child polls its parent's sticky flag AND the parent's own token: the
+   parent is typically idle while its fan-out runs, so nobody else would
+   notice the parent being cancelled. *)
+let check_parent b =
+  match b.parent with
+  | Some p -> (
+      (match p.spent with Some r -> propagate b r | None -> ());
+      match p.cancel with
+      | Some tok when Atomic.get tok.cancelled -> exhaust b Cancelled
+      | _ -> ())
+  | None -> ()
 
 (* Poll the expensive limits (clock, allocator). *)
 let poll_slow b =
@@ -108,13 +180,12 @@ let poll_slow b =
 let tick ?(cost = 1) b =
   if not (is_unlimited b) then begin
     (match b.spent with Some r -> raise (Exhausted r) | None -> ());
+    check_parent b;
     (match b.cancel with
-    | Some tok when tok.cancelled -> exhaust b Cancelled
+    | Some tok when Atomic.get tok.cancelled -> exhaust b Cancelled
     | _ -> ());
-    if b.fuel_limited then begin
-      b.fuel <- b.fuel - cost;
-      if b.fuel < 0 then exhaust b Fuel
-    end;
+    if b.fuel_limited then
+      if Atomic.fetch_and_add b.fuel (-cost) - cost < 0 then exhaust b Fuel;
     b.poll <- b.poll - 1;
     if b.poll <= 0 then poll_slow b
   end
@@ -122,8 +193,9 @@ let tick ?(cost = 1) b =
 let check b =
   if not (is_unlimited b) then begin
     (match b.spent with Some r -> raise (Exhausted r) | None -> ());
+    check_parent b;
     (match b.cancel with
-    | Some tok when tok.cancelled -> exhaust b Cancelled
+    | Some tok when Atomic.get tok.cancelled -> exhaust b Cancelled
     | _ -> ());
     poll_slow b
   end
@@ -146,17 +218,23 @@ let run b f =
 
 (* --- ambient budget --- *)
 
-let ambient_budget = ref unlimited
+(* Domain-local, not process-global: the bench harness scopes one budget
+   per series, and with --jobs those series run on different worker
+   domains concurrently — a shared ref would leak one series' deadline
+   into another.  The parallel engine explicitly installs the submitting
+   caller's ambient in each task it runs. *)
+let ambient_key = Domain.DLS.new_key (fun () -> ref unlimited)
 
-let ambient () = !ambient_budget
-let set_ambient b = ambient_budget := b
+let ambient () = !(Domain.DLS.get ambient_key)
+let set_ambient b = Domain.DLS.get ambient_key := b
 
 let with_ambient b f =
-  let saved = !ambient_budget in
-  ambient_budget := b;
-  Fun.protect ~finally:(fun () -> ambient_budget := saved) f
+  let cell = Domain.DLS.get ambient_key in
+  let saved = !cell in
+  cell := b;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
-let resolve = function Some b -> b | None -> !ambient_budget
+let resolve = function Some b -> b | None -> ambient ()
 
 (* --- fault injection --- *)
 
@@ -166,11 +244,20 @@ type fault =
 
 type armed = { mutable countdown : int; mode : fault; env_only : bool }
 
-(* site -> armed entry; the wildcard site "*" matches everything *)
+(* site -> armed entry; the wildcard site "*" matches everything.  Probes
+   fire from worker domains, so every table access goes through one mutex
+   (the armed-empty fast path reads a length field, which is safe). *)
+let fault_mutex = Mutex.create ()
+
+let with_faults f =
+  Mutex.lock fault_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock fault_mutex) f
+
 let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
 let sites_tbl : (string, unit) Hashtbl.t = Hashtbl.create 32
 
 let arm_internal ~env_only ~site ~after mode =
+  with_faults @@ fun () ->
   Hashtbl.replace armed_tbl site { countdown = after; mode; env_only }
 
 let arm ~site ?(after = 0) mode = arm_internal ~env_only:false ~site ~after mode
@@ -188,38 +275,46 @@ let site_hash seed site =
 let arm_seeded ~seed ~sites =
   List.iter (fun site -> arm ~site ~after:(site_hash seed site mod 4) Raise) sites
 
-let disarm ~site = Hashtbl.remove armed_tbl site
-let disarm_all () = Hashtbl.reset armed_tbl
+let disarm ~site = with_faults @@ fun () -> Hashtbl.remove armed_tbl site
+let disarm_all () = with_faults @@ fun () -> Hashtbl.reset armed_tbl
 
 let known_sites () =
+  with_faults @@ fun () ->
   Hashtbl.fold (fun s () acc -> s :: acc) sites_tbl [] |> List.sort String.compare
 
 let probe ?budget site =
-  if not (Hashtbl.mem sites_tbl site) then Hashtbl.replace sites_tbl site ();
-  if Hashtbl.length armed_tbl > 0 then begin
-    let entry =
-      match Hashtbl.find_opt armed_tbl site with
-      | Some _ as e -> e
-      | None -> Hashtbl.find_opt armed_tbl "*"
-    in
-    match entry with
-    | None -> ()
-    | Some e ->
-        let applies =
-          (not e.env_only) || not (is_unlimited (resolve budget))
-        in
-        if applies then begin
-          if e.countdown > 0 then e.countdown <- e.countdown - 1
-          else
-            match e.mode with
-            | Raise ->
-                Telemetry.incr m_faults;
-                raise (Exhausted (Fault site))
-            | Stall s ->
-                Telemetry.incr m_stalls;
-                Unix.sleepf s
-        end
-  end
+  (* Decide the action under the lock, act outside it: a Stall must not
+     hold the mutex while it sleeps. *)
+  let governed = (resolve budget).governed in
+  let action =
+    with_faults @@ fun () ->
+    if not (Hashtbl.mem sites_tbl site) then Hashtbl.replace sites_tbl site ();
+    if Hashtbl.length armed_tbl = 0 then None
+    else
+      let entry =
+        match Hashtbl.find_opt armed_tbl site with
+        | Some _ as e -> e
+        | None -> Hashtbl.find_opt armed_tbl "*"
+      in
+      match entry with
+      | None -> None
+      | Some e ->
+          let applies = (not e.env_only) || governed in
+          if not applies then None
+          else if e.countdown > 0 then begin
+            e.countdown <- e.countdown - 1;
+            None
+          end
+          else Some e.mode
+  in
+  match action with
+  | None -> ()
+  | Some Raise ->
+      Telemetry.incr m_faults;
+      raise (Exhausted (Fault site))
+  | Some (Stall s) ->
+      Telemetry.incr m_stalls;
+      Unix.sleepf s
 
 (* Environment arming: GUARD_FAULTS=all | site1,site2 with optional
    GUARD_FAULT_MODE=raise|stall:SECS, GUARD_FAULT_AFTER=N and

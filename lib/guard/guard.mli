@@ -10,9 +10,14 @@
     let {!Exhausted} propagate from boolean APIs, where the caller maps it
     to an exit code).
 
-    Budgets are single-threaded, mutable, and *sticky*: once exhausted,
-    every subsequent {!tick}/{!check} raises again with the same reason, so
-    a deep search unwinds promptly no matter where it is.
+    Budgets are mutable and *sticky*: once exhausted, every subsequent
+    {!tick}/{!check} raises again with the same reason, so a deep search
+    unwinds promptly no matter where it is.  A budget is owned by one
+    domain; to govern work fanned out across domains, derive one {!child}
+    per task — children share the parent's absolute deadline and fuel pool
+    and observe its sticky exhaustion, while carrying their own
+    cancellation token (tokens themselves are atomic and safe to cancel
+    from any domain).
 
     The module also hosts deterministic {e fault-injection probes}
     ({!probe}): named sites in the engines that tests (or the
@@ -65,6 +70,15 @@ val make :
     creation (polled via [Gc.minor_words]); [cancel] a cooperative token. *)
 
 val is_unlimited : t -> bool
+
+val child : ?cancel:token -> t -> t
+(** [child ?cancel parent] derives a budget for one task of a parallel
+    fan-out.  It shares [parent]'s absolute deadline and draws fuel from
+    the same (atomic) pool, observes [parent]'s sticky exhaustion at every
+    {!tick}/{!check}, and carries its own [cancel] token so a racer can
+    stop one sibling without spending the others.  The allocation ceiling
+    is not inherited ([Gc.minor_words] is per-domain).  [child unlimited]
+    with no token is {!unlimited}. *)
 
 val tick : ?cost:int -> t -> unit
 (** Consume [cost] (default 1) fuel and poll the cheap limits; the clock
@@ -120,9 +134,11 @@ val resolve : t option -> t
     Arming from the environment ([GUARD_FAULTS=all] or a comma-separated
     site list, with optional [GUARD_FAULT_MODE=raise|stall:SECS],
     [GUARD_FAULT_AFTER=N], [GUARD_FAULT_SEED=N]) fires only at probes
-    running under a *limited* budget, so an armed process degrades its
-    governed runs without perturbing unbudgeted code; programmatic {!arm}
-    fires unconditionally. *)
+    running under a *governed* budget — one with a real deadline / fuel /
+    allocation limit, directly or inherited through {!child} (a budget
+    that merely carries a racing cancellation token does not count) — so
+    an armed process degrades its governed runs without perturbing
+    unbudgeted code; programmatic {!arm} fires unconditionally. *)
 
 type fault =
   | Raise  (** raise [Exhausted (Fault site)] at the probe *)

@@ -1,0 +1,298 @@
+(* Fixed-size domain pool with fork-join map and first-success racing.
+   Stdlib-only (Domain / Mutex / Condition / Atomic); see parallel.mli for
+   the determinism contract.
+
+   Shape: one shared FIFO of (unit -> unit) thunks, [jobs - 1] worker
+   domains blocked on a condition variable, and a submitting caller that
+   works the same queue instead of blocking ("help-first"), so [jobs = N]
+   really means N runners.  Combinators are built on [exec_units], which
+   runs a batch of non-raising thunks to completion: results and errors
+   travel through per-batch arrays, synchronised by the batch countdown
+   (mutex + condition), which is also the happens-before edge that lets
+   the caller read worker-written slots after the join. *)
+
+let m_pools = Telemetry.counter "parallel.pools" ~doc:"domain pools created"
+
+let m_domains =
+  Telemetry.counter "parallel.domains_spawned" ~doc:"worker domains spawned by pools"
+
+let m_tasks = Telemetry.counter "parallel.tasks" ~doc:"tasks executed by pool runners"
+
+let m_cancels =
+  Telemetry.counter "parallel.cancel_signals"
+    ~doc:"loser tokens cancelled by racing combinators"
+
+(* --- default job count --- *)
+
+let default_jobs_cell = ref None
+
+let default_jobs () =
+  match !default_jobs_cell with
+  | Some j -> j
+  | None ->
+      let j =
+        match Sys.getenv_opt "JOBS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some k when k >= 1 -> k
+            | _ -> 1)
+        | None -> 1
+      in
+      default_jobs_cell := Some j;
+      j
+
+let set_default_jobs j = default_jobs_cell := Some (max 1 j)
+
+(* --- pool --- *)
+
+type pool = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+  mutable shut : bool;
+}
+
+(* Workers drain the queue even after [stopped] is set, so a batch in
+   flight when shutdown begins still completes rather than hanging its
+   joiner. *)
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopped do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  let task = Queue.take_opt pool.queue in
+  Mutex.unlock pool.mutex;
+  match task with
+  | None -> () (* stopped and drained *)
+  | Some t ->
+      t ();
+      worker pool
+
+let create ~jobs =
+  Telemetry.incr m_pools;
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      domains = [];
+      shut = false;
+    }
+  in
+  let n = max 0 (jobs - 1) in
+  pool.domains <-
+    List.init n (fun _ ->
+        Telemetry.incr m_domains;
+        Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  if not pool.shut then
+    (* The probe is the fault-injection point; the finaliser guarantees
+       that even a fault mid-shutdown stops and joins every worker, so a
+       raise here degrades gracefully and a repeat call is a no-op. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock pool.mutex;
+        pool.stopped <- true;
+        Condition.broadcast pool.nonempty;
+        Mutex.unlock pool.mutex;
+        let ds = pool.domains in
+        pool.domains <- [];
+        pool.shut <- true;
+        List.iter Domain.join ds)
+      (fun () -> Guard.probe "parallel.pool.shutdown")
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  match f pool with
+  | v ->
+      shutdown pool;
+      v
+  | exception e ->
+      (* Preserve the original failure; a shutdown fault must not mask it
+         (the finaliser above has already joined the workers either way). *)
+      (try shutdown pool with Guard.Exhausted _ -> ());
+      raise e
+
+(* --- batch execution --- *)
+
+(* Run every thunk (they must not raise — combinators capture into their
+   own arrays) and return once all have completed.  Tasks run under the
+   submitting caller's ambient budget, whichever domain picks them up. *)
+let exec_units pool units =
+  let n = Array.length units in
+  if n > 0 then begin
+    let amb = Guard.ambient () in
+    let wrap u () =
+      Telemetry.incr m_tasks;
+      try Guard.with_ambient amb u with _ -> ()
+    in
+    if pool.domains = [] then Array.iter (fun u -> wrap u ()) units
+    else begin
+      let batch_mutex = Mutex.create () in
+      let batch_done = Condition.create () in
+      let remaining = ref n in
+      let counted u () =
+        wrap u ();
+        Mutex.lock batch_mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast batch_done;
+        Mutex.unlock batch_mutex
+      in
+      Mutex.lock pool.mutex;
+      for i = 1 to n - 1 do
+        Queue.push (counted units.(i)) pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      counted units.(0) ();
+      (* Help-first join: keep taking queued tasks; only block once the
+         queue is empty and our stragglers are running elsewhere. *)
+      let rec help () =
+        Mutex.lock pool.mutex;
+        let task = Queue.take_opt pool.queue in
+        Mutex.unlock pool.mutex;
+        match task with
+        | Some t ->
+            t ();
+            help ()
+        | None ->
+            Mutex.lock batch_mutex;
+            while !remaining > 0 do
+              Condition.wait batch_done batch_mutex
+            done;
+            Mutex.unlock batch_mutex
+      in
+      help ()
+    end
+  end
+
+(* --- combinators --- *)
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let errors = Array.make n None in
+      let units =
+        Array.init n (fun i () ->
+            try
+              Guard.probe "parallel.task";
+              results.(i) <- Some (f arr.(i))
+            with e -> errors.(i) <- Some e)
+      in
+      exec_units pool units;
+      Array.iter (function Some e -> raise e | None -> ()) errors;
+      Array.to_list (Array.map (function Some v -> v | None -> assert false) results)
+
+(* Outcome of one racing task, in the least-index selection order:
+   [Stop] beats everything at a lower index; [Pass] means "keep looking". *)
+type 'b outcome =
+  | Pass
+  | Stop_some of 'b
+  | Stop_exn of exn
+
+let cancel_from tokens j0 =
+  Array.iteri
+    (fun j tok ->
+      if j >= j0 && not (Guard.is_cancelled tok) then begin
+        Telemetry.incr m_cancels;
+        Guard.cancel tok
+      end)
+    tokens
+
+let first_success pool f xs =
+  match xs with
+  | [] -> None
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let tokens = Array.init n (fun _ -> Guard.token ()) in
+      if pool.domains = [] then begin
+        (* Inline path IS the sequential loop the parallel path must
+           reproduce: evaluate in index order, stop at the first Some. *)
+        let rec go i =
+          if i >= n then None
+          else
+            match f arr.(i) tokens.(i) with
+            | Some v -> Some v
+            | None -> go (i + 1)
+            | exception Guard.Exhausted Guard.Cancelled -> go (i + 1)
+        in
+        go 0
+      end
+      else begin
+        let outcomes = Array.make n Pass in
+        (* [best] is the least index known to hold a stopping outcome;
+           it only ever decreases, so every cancellation targets an index
+           strictly greater than the final winner — tasks at or below the
+           winner always run uncancelled, which is what makes the scan
+           below agree with the sequential loop. *)
+        let best = Atomic.make n in
+        let stop i o =
+          outcomes.(i) <- o;
+          let rec lower () =
+            let b = Atomic.get best in
+            if i < b && not (Atomic.compare_and_set best b i) then lower ()
+          in
+          lower ();
+          cancel_from tokens (Atomic.get best + 1)
+        in
+        let units =
+          Array.init n (fun i () ->
+              try
+                Guard.probe "parallel.task";
+                match f arr.(i) tokens.(i) with
+                | Some v -> stop i (Stop_some v)
+                | None -> ()
+              with
+              | Guard.Exhausted Guard.Cancelled -> ()
+              | e -> stop i (Stop_exn e))
+        in
+        exec_units pool units;
+        let rec scan i =
+          if i >= n then None
+          else
+            match outcomes.(i) with
+            | Stop_some v -> Some v
+            | Stop_exn e -> raise e
+            | Pass -> scan (i + 1)
+        in
+        scan 0
+      end
+
+let run_race pool ~cancel_rest thunks =
+  match thunks with
+  | [] -> []
+  | thunks ->
+      let arr = Array.of_list thunks in
+      let n = Array.length arr in
+      let tokens = Array.init n (fun _ -> Guard.token ()) in
+      let outcomes = Array.make n (Error Not_found) in
+      let units =
+        Array.init n (fun i () ->
+            (outcomes.(i) <-
+               (try
+                  Guard.probe "parallel.task";
+                  Ok (arr.(i) tokens.(i))
+                with e -> Error e));
+            if cancel_rest i then
+              Array.iteri
+                (fun j tok ->
+                  if j <> i && not (Guard.is_cancelled tok) then begin
+                    Telemetry.incr m_cancels;
+                    Guard.cancel tok
+                  end)
+                tokens)
+      in
+      exec_units pool units;
+      Array.to_list outcomes
+
+let race pool thunks = run_race pool ~cancel_rest:(fun _ -> false) thunks

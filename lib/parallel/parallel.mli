@@ -1,0 +1,89 @@
+(** A fixed-size domain pool with fork-join [map] and first-success racing,
+    built on the OCaml 5 stdlib only (Domain / Mutex / Condition / Atomic).
+
+    The pool exists so the paper's embarrassingly parallel heuristics —
+    [RandomChecking]'s K independent chase runs (Fig 5) and [Checking]'s
+    chase-vs-SAT backend portfolio (Fig 10a) — can use the hardware without
+    giving up reproducibility:
+
+    - {b Determinism.} Combinators return (or select) results by
+      submission index, never by completion order.  Callers derive
+      per-task RNGs with {!Rng.split_n} before submitting, so the verdict
+      for a fixed seed is bit-identical at any [jobs] count.  (Telemetry
+      counts are {e not} deterministic — losers do a hardware-dependent
+      amount of work before observing cancellation; see DESIGN.md §9.)
+    - {b Cancellation.} Racing is cooperative via {!Guard} tokens: each
+      task gets a token, and once a winner is known the losers' tokens are
+      cancelled, so tasks that poll a {!Guard.child} budget unwind with
+      [Exhausted Cancelled] promptly.
+    - {b Budgets.} Tasks inherit the submitting caller's ambient budget
+      (ambient is domain-local); pass explicit {!Guard.child} budgets for
+      deadline/fuel sharing across the fan-out.
+
+    Worker-count note: domains are heavyweight; pools are meant to be
+    short-lived (create, fan out, {!shutdown}) or scoped via {!with_pool}.
+    [jobs = 1] never spawns a domain — everything runs inline on the
+    caller, which is also the fallback wherever determinism is easier to
+    see sequentially. *)
+
+type pool
+
+val default_jobs : unit -> int
+(** The process default for [?jobs] parameters: the [JOBS] environment
+    variable when set to a positive integer, else 1.  CI sets [JOBS=4] to
+    exercise the parallel paths across the whole test suite; [cindtool
+    --jobs N] overrides it for the process. *)
+
+val set_default_jobs : int -> unit
+(** Override {!default_jobs} for this process (clamped to [>= 1]). *)
+
+val create : jobs:int -> pool
+(** Spawn [jobs - 1] worker domains (the submitting caller is the [jobs]-th
+    worker during {!map}/{!first_success}).  [jobs <= 1] creates an inline
+    pool with no domains. *)
+
+val shutdown : pool -> unit
+(** Stop the workers and join their domains.  Idempotent — a second call
+    (including from a [Fun.protect] finaliser after a fault) is a no-op. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [with_pool ~jobs f] scopes a pool around [f]; {!shutdown} always runs. *)
+
+val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Fork-join map, in submission order.  Tasks run on the pool's domains
+    (and the caller, which works down the same queue instead of blocking);
+    each task runs under the submitting caller's ambient budget.  If any
+    task raises, [map] waits for the rest, then re-raises the
+    least-indexed exception. *)
+
+val first_success :
+  pool -> ('a -> Guard.token -> 'b option) -> 'a list -> 'b option
+(** [first_success pool f xs] runs [f x_i tok_i] for every [x_i] and
+    returns the [Some] of the {e least submission index}, cancelling the
+    tokens of all tasks with a strictly greater index as soon as a better
+    candidate is known.  Cancelled tasks count as [None] whatever they
+    would have returned.  The least-index rule is what makes racing
+    deterministic: it selects exactly the result a sequential
+    first-success loop would have stopped at, independent of completion
+    order.  A task raising [Guard.Exhausted Cancelled] counts as [None]
+    (it is a cancelled loser); any other exception is a stopping outcome
+    like [Some] — the least-indexed stopping outcome wins, and if it is an
+    exception it is re-raised. *)
+
+val race : pool -> (Guard.token -> 'a) list -> ('a, exn) result list
+(** Run the thunks concurrently, each with its own cancellation token, and
+    return every outcome in submission order — [Error] captures whatever
+    the thunk raised (typically [Guard.Exhausted Cancelled] for losers).
+    The caller decides who "won"; use {!first_success} when [Some]-ness is
+    the criterion.  Tokens are exposed so the caller can cancel
+    cross-sibling (e.g. backend A's success cancels backend B); see
+    {!tokens_of}. *)
+
+val run_race :
+  pool ->
+  cancel_rest:(int -> bool) ->
+  (Guard.token -> 'a) list ->
+  ('a, exn) result list
+(** Generalised {!race}: after task [i] completes, [cancel_rest i] decides
+    whether the remaining (higher- and lower-indexed) unfinished siblings
+    should be cancelled.  [race] is [run_race ~cancel_rest:(fun _ -> false)]. *)

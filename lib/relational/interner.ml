@@ -1,0 +1,64 @@
+(* Global append-only interning of values (and relation/attribute symbols)
+   into dense integer ids, so hot-path equality and hashing over tuples is
+   integer work instead of structural traversal.
+
+   Domain-safe: one mutex per table serializes both registration and
+   resolution (resolution is cold — printing and witness extraction; the
+   hot paths carry the ids themselves). *)
+
+type 'a table = {
+  mutex : Mutex.t;
+  ids : ('a, int) Hashtbl.t;
+  mutable store : 'a array; (* id -> value; may over-allocate *)
+  mutable size : int;
+}
+
+let make_table () =
+  { mutex = Mutex.create (); ids = Hashtbl.create 256; store = [||]; size = 0 }
+
+let intern table dummy x =
+  Mutex.lock table.mutex;
+  let id =
+    match Hashtbl.find_opt table.ids x with
+    | Some id -> id
+    | None ->
+        let id = table.size in
+        if id >= Array.length table.store then begin
+          let cap = max 64 (2 * Array.length table.store) in
+          let grown = Array.make cap dummy in
+          Array.blit table.store 0 grown 0 table.size;
+          table.store <- grown
+        end;
+        table.store.(id) <- x;
+        table.size <- id + 1;
+        Hashtbl.replace table.ids x id;
+        id
+  in
+  Mutex.unlock table.mutex;
+  id
+
+let lookup table id =
+  Mutex.lock table.mutex;
+  if id < 0 || id >= table.size then begin
+    Mutex.unlock table.mutex;
+    invalid_arg "Interner: unknown id"
+  end
+  else begin
+    let v = table.store.(id) in
+    Mutex.unlock table.mutex;
+    v
+  end
+
+(* --- values --- *)
+
+let values = make_table ()
+
+let id (v : Value.t) = intern values (Value.Bool false) v
+let value i : Value.t = lookup values i
+
+(* --- symbols (relation / attribute names) --- *)
+
+let symbols = make_table ()
+
+let symbol (s : string) = intern symbols "" s
+let symbol_name i = lookup symbols i

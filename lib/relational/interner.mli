@@ -1,0 +1,21 @@
+(** Process-global, append-only interning of values and symbols into dense
+    integer ids: interning the same value twice yields the same id, ids
+    never change, and resolution is O(1).  Safe to call from any domain.
+
+    This is the backbone of the hot-path integer comparisons: {!Tuple.ids}
+    caches each tuple's interned image so tuple equality and hashing are
+    integer-array work, and the chase's projection index and the
+    dependency graph key on ids instead of re-hashing strings and
+    structural values. *)
+
+val id : Value.t -> int
+(** Intern a value (create-or-find). *)
+
+val value : int -> Value.t
+(** Resolve an id.  @raise Invalid_argument on an id never handed out. *)
+
+val symbol : string -> int
+(** Intern a relation or attribute name. *)
+
+val symbol_name : int -> string
+(** Resolve a symbol id.  @raise Invalid_argument on an unknown id. *)

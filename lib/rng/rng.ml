@@ -42,3 +42,10 @@ let shuffle t l =
   Array.to_list a
 
 let split t = make (Int64.to_int (next_int64 t))
+
+(* In submission order, not List.init order: task i of a parallel fan-out
+   must get the same generator whether the tasks run on one domain or
+   eight. *)
+let split_n t n =
+  let rec go acc k = if k = 0 then List.rev acc else go (split t :: acc) (k - 1) in
+  go [] n

@@ -11,6 +11,11 @@
    - recording never perturbs the algorithms: no RNG use, no reordering,
      no exceptions (sink I/O errors are the caller's problem at flush
      time, not the instrumented code's);
+   - domain-safe: record sites fire from worker domains of the parallel
+     execution engine.  Counters are [Atomic] (the disabled path is still
+     a load and a test); histograms take a per-histogram mutex only when
+     enabled; span depth is domain-local; sink emission is serialized so
+     lines never interleave;
    - metric keys follow [subsystem.event] (dots separate levels,
      snake_case within a level), e.g. [sat.decisions],
      [checking.cfd.kcfd_retries]. *)
@@ -25,25 +30,35 @@ let disable () = enabled_flag := false
 
 (* --- counters ------------------------------------------------------------ *)
 
-type counter = { c_name : string; c_doc : string; mutable c_count : int }
+(* Registries are mutated at module-initialisation time in the common case,
+   but lazily-created metrics can race with worker domains; one mutex
+   serializes registration (never the hot record path). *)
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+type counter = { c_name : string; c_doc : string; c_count : int Atomic.t }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter ?(doc = "") name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; c_doc = doc; c_count = 0 } in
+      let c = { c_name = name; c_doc = doc; c_count = Atomic.make 0 } in
       Hashtbl.replace counters name c;
       c
 
-let incr c = if !enabled_flag then c.c_count <- c.c_count + 1
+let incr c = if !enabled_flag then Atomic.incr c.c_count
 
 let add c n =
   if n < 0 then invalid_arg "Telemetry.add: counters are monotonic";
-  if !enabled_flag then c.c_count <- c.c_count + n
+  if !enabled_flag then ignore (Atomic.fetch_and_add c.c_count n)
 
-let count c = c.c_count
+let count c = Atomic.get c.c_count
 
 (* --- histograms ---------------------------------------------------------- *)
 
@@ -57,6 +72,7 @@ let num_buckets = Array.length bucket_bounds + 1 (* + overflow *)
 
 type histogram = {
   h_name : string;
+  h_mutex : Mutex.t; (* histograms mutate three fields together *)
   h_buckets : int array; (* length [num_buckets]; last = overflow *)
   mutable h_count : int;
   mutable h_sum : float; (* seconds *)
@@ -65,11 +81,18 @@ type histogram = {
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let histogram name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
       let h =
-        { h_name = name; h_buckets = Array.make num_buckets 0; h_count = 0; h_sum = 0. }
+        {
+          h_name = name;
+          h_mutex = Mutex.create ();
+          h_buckets = Array.make num_buckets 0;
+          h_count = 0;
+          h_sum = 0.;
+        }
       in
       Hashtbl.replace histograms name h;
       h
@@ -81,9 +104,11 @@ let bucket_of v =
 
 let observe h v =
   if !enabled_flag then begin
+    Mutex.lock h.h_mutex;
     h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
     h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v
+    h.h_sum <- h.h_sum +. v;
+    Mutex.unlock h.h_mutex
   end
 
 (* --- sinks --------------------------------------------------------------- *)
@@ -115,24 +140,37 @@ let escape s =
 
 (* --- spans --------------------------------------------------------------- *)
 
-let depth = ref 0
+(* Span nesting is a per-domain notion: a worker domain's spans nest among
+   themselves, not into whatever the main domain is timing. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let span_depth () = !depth
+let depth () = Domain.DLS.get depth_key
+
+let span_depth () = !(depth ())
+
+(* One emit at a time: concurrent spans from worker domains must not
+   interleave bytes within a line. *)
+let emit_mutex = Mutex.create ()
 
 let emit_span name dur err =
+  let d = !(depth ()) in
   match !sink with
   | Null -> ()
   | Pretty ppf ->
+      Mutex.lock emit_mutex;
       Format.fprintf ppf "[span]%s %s%s %.6fs@."
-        (String.make (2 * !depth) ' ')
+        (String.make (2 * d) ' ')
         name
         (if err then " !" else "")
-        dur
+        dur;
+      Mutex.unlock emit_mutex
   | Jsonl oc ->
+      Mutex.lock emit_mutex;
       Printf.fprintf oc
         "{\"ev\":\"span\",\"name\":\"%s\",\"dur_s\":%.9f,\"depth\":%d%s}\n"
-        (escape name) dur !depth
-        (if err then ",\"err\":true" else "")
+        (escape name) dur d
+        (if err then ",\"err\":true" else "");
+      Mutex.unlock emit_mutex
 
 let record_span name dur err =
   observe (histogram name) dur;
@@ -142,14 +180,15 @@ let with_span name f =
   if not !enabled_flag then f ()
   else begin
     let t0 = Unix.gettimeofday () in
-    Stdlib.incr depth;
+    let d = depth () in
+    Stdlib.incr d;
     match f () with
     | v ->
-        Stdlib.decr depth;
+        Stdlib.decr d;
         record_span name (Unix.gettimeofday () -. t0) false;
         v
     | exception e ->
-        Stdlib.decr depth;
+        Stdlib.decr d;
         record_span name (Unix.gettimeofday () -. t0) true;
         raise e
   end
@@ -165,17 +204,23 @@ type histogram_stats = {
 let by_name cmp = List.sort (fun (a, _) (b, _) -> String.compare a b) cmp
 
 let counter_snapshot () =
-  Hashtbl.fold (fun name c acc -> (name, c.c_count) :: acc) counters [] |> by_name
+  Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_count) :: acc) counters []
+  |> by_name
 
 let histogram_stats h =
-  {
-    hs_count = h.h_count;
-    hs_sum = h.h_sum;
-    hs_buckets =
-      List.init num_buckets (fun i ->
-          ( (if i < Array.length bucket_bounds then bucket_bounds.(i) else infinity),
-            h.h_buckets.(i) ));
-  }
+  Mutex.lock h.h_mutex;
+  let stats =
+    {
+      hs_count = h.h_count;
+      hs_sum = h.h_sum;
+      hs_buckets =
+        List.init num_buckets (fun i ->
+            ( (if i < Array.length bucket_bounds then bucket_bounds.(i) else infinity),
+              h.h_buckets.(i) ));
+    }
+  in
+  Mutex.unlock h.h_mutex;
+  stats
 
 let histogram_snapshot () =
   Hashtbl.fold (fun name h acc -> (name, histogram_stats h) :: acc) histograms []
@@ -185,14 +230,16 @@ let counter_docs () =
   Hashtbl.fold (fun name c acc -> (name, c.c_doc) :: acc) counters [] |> by_name
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_count 0) counters;
   Hashtbl.iter
     (fun _ h ->
+      Mutex.lock h.h_mutex;
       Array.fill h.h_buckets 0 num_buckets 0;
       h.h_count <- 0;
-      h.h_sum <- 0.)
+      h.h_sum <- 0.;
+      Mutex.unlock h.h_mutex)
     histograms;
-  depth := 0
+  depth () := 0
 
 (* --- JSON-lines emission and parsing ------------------------------------- *)
 

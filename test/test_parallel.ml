@@ -1,0 +1,222 @@
+open Conddep_relational
+open Conddep_consistency
+open Conddep_generator
+open Helpers
+
+(* The domain pool and the parallel checking paths: deterministic fork-join
+   and racing combinators, cooperative cancellation of race losers, pool
+   shutdown under fault injection, and — the property the whole design
+   hangs on — bit-identical verdicts and witnesses at any [jobs] count. *)
+
+(* --- pool combinators -------------------------------------------------------- *)
+
+let test_map_order () =
+  let xs = List.init 40 Fun.id in
+  let expect = List.map (fun i -> i * i) xs in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int))
+        "submission order" expect
+        (Parallel.map pool (fun i -> i * i) xs));
+  (* jobs = 1 runs inline on the caller; same contract *)
+  Parallel.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int))
+        "inline pool" expect
+        (Parallel.map pool (fun i -> i * i) xs))
+
+let test_map_least_exception () =
+  (* several tasks raise; map must surface the least-indexed failure *)
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      match
+        Parallel.map pool
+          (fun i -> if i mod 2 = 1 then failwith (string_of_int i) else i)
+          (List.init 8 Fun.id)
+      with
+      | (_ : int list) -> Alcotest.fail "odd tasks raise"
+      | exception Failure s -> check_string "least index" "1" s)
+
+let test_first_success_least_index () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let r =
+        Parallel.first_success pool
+          (fun i _tok -> if i >= 1 then Some i else None)
+          [ 0; 1; 2; 3 ]
+      in
+      (* 2 and 3 also succeed, but the sequential loop would have stopped
+         at 1 — the least-index rule must select exactly that *)
+      Alcotest.(check (option int)) "least Some wins" (Some 1) r;
+      Alcotest.(check (option int))
+        "all None is None" None
+        (Parallel.first_success pool (fun _ _ -> None) [ 0; 1; 2 ]))
+
+let test_default_jobs_clamped () =
+  let saved = Parallel.default_jobs () in
+  Fun.protect ~finally:(fun () -> Parallel.set_default_jobs saved) @@ fun () ->
+  Parallel.set_default_jobs 0;
+  check_bool "clamped to >= 1" true (Parallel.default_jobs () >= 1);
+  Parallel.set_default_jobs 3;
+  check_int "override visible" 3 (Parallel.default_jobs ())
+
+(* --- cancellation: race losers terminate via Guard.Cancelled ----------------- *)
+
+let test_race_losers_cancelled () =
+  (* Task 0 returns promptly; the losers spin on a cancellable budget.
+     They can only exit through cooperative cancellation — the 10s
+     deadline is a safety net that turns a broken cancel path into a
+     visible wrong-reason failure rather than a hung test. *)
+  let loser tok =
+    let b = Guard.make ~cancel:tok ~timeout_s:10. () in
+    let rec spin () =
+      Guard.check b;
+      spin ()
+    in
+    spin ()
+  in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let results =
+        Parallel.run_race pool
+          ~cancel_rest:(fun i -> i = 0)
+          ((fun _tok -> "winner") :: List.init 3 (fun _ -> loser))
+      in
+      match results with
+      | [ Ok w; l1; l2; l3 ] ->
+          check_string "winner result" "winner" w;
+          List.iteri
+            (fun i l ->
+              match l with
+              | Error (Guard.Exhausted Guard.Cancelled) -> ()
+              | Error e ->
+                  Alcotest.failf "loser %d: expected Cancelled, got %s" (i + 1)
+                    (Printexc.to_string e)
+              | Ok _ -> Alcotest.failf "loser %d cannot finish" (i + 1))
+            [ l1; l2; l3 ]
+      | _ -> Alcotest.fail "four results in submission order")
+
+(* --- shutdown: idempotent, also mid-fault ------------------------------------ *)
+
+let test_shutdown_idempotent () =
+  let pool = Parallel.create ~jobs:3 in
+  ignore (Parallel.map pool Fun.id [ 1; 2; 3 ]);
+  Parallel.shutdown pool;
+  Parallel.shutdown pool;
+  (* second call is a no-op *)
+  Parallel.shutdown pool
+
+let test_shutdown_fault_injection () =
+  (* A fault armed at the shutdown probe must not leak worker domains or
+     break idempotence: the raise surfaces, the finaliser still joins the
+     workers, and a repeat call is a clean no-op. *)
+  let pool = Parallel.create ~jobs:3 in
+  Guard.arm ~site:"parallel.pool.shutdown" Guard.Raise;
+  (Fun.protect ~finally:Guard.disarm_all @@ fun () ->
+   match Parallel.shutdown pool with
+   | () -> Alcotest.fail "armed shutdown fault must fire"
+   | exception Guard.Exhausted (Guard.Fault s) ->
+       check_string "site" "parallel.pool.shutdown" s);
+  (* disarmed now: repeats are no-ops, no hang, no double-join *)
+  Parallel.shutdown pool;
+  Parallel.shutdown pool
+
+let test_with_pool_fault_preserves_failure () =
+  (* with_pool must not let a shutdown fault mask the body's own failure *)
+  Guard.arm ~site:"parallel.pool.shutdown" Guard.Raise;
+  Fun.protect ~finally:Guard.disarm_all @@ fun () ->
+  match Parallel.with_pool ~jobs:2 (fun _ -> failwith "body") with
+  | (_ : unit) -> Alcotest.fail "body raises"
+  | exception Failure s -> check_string "original failure wins" "body" s
+
+(* --- verdict determinism across jobs counts ---------------------------------- *)
+
+let describe = function
+  | Random_checking.Consistent db -> Fmt.str "consistent:%a" Database.pp db
+  | Random_checking.Unknown r -> Fmt.str "unknown:%s" (Guard.reason_to_string r)
+
+let gen_workload ~consistent seed =
+  let rng = Rng.make seed in
+  let schema =
+    Schema_gen.generate rng { Schema_gen.default with num_relations = 4 }
+  in
+  let gen = if consistent then Workload.consistent else Workload.random in
+  (schema, gen rng { Workload.default with num_constraints = 24 } schema)
+
+let test_jobs_identical_witness () =
+  (* a satisfiable Σ: the parallel fan-out must return the same verdict
+     AND the same witness database as the sequential loop, bit for bit *)
+  let schema, sigma = gen_workload ~consistent:true 5 in
+  let run jobs =
+    describe (Random_checking.check ~jobs ~rng:(Rng.make 2) schema sigma)
+  in
+  let seq = run 1 in
+  check_bool "witness found" true
+    (String.length seq >= 10 && String.sub seq 0 10 = "consistent");
+  check_string "jobs=2 identical" seq (run 2);
+  check_string "jobs=4 identical" seq (run 4)
+
+let test_jobs_identical_unknown () =
+  (* an adversarial Σ where the K runs exhaust: the typed give-up reason
+     must be identical at any jobs count too *)
+  let schema, sigma = gen_workload ~consistent:false 13 in
+  let run jobs =
+    describe
+      (Random_checking.check ~jobs ~k:12 ~k_cfd:6 ~rng:(Rng.make 7) schema sigma)
+  in
+  let seq = run 1 in
+  check_string "jobs=2 identical" seq (run 2);
+  check_string "jobs=4 identical" seq (run 4)
+
+let describe_checking = function
+  | Checking.Consistent db -> Fmt.str "consistent:%a" Database.pp db
+  | Checking.Inconsistent -> "inconsistent"
+  | Checking.Unknown r -> Fmt.str "unknown:%s" (Guard.reason_to_string r)
+
+let test_checking_race_identical () =
+  (* the full pipeline, backend racing included: same verdict at any jobs
+     count, for both a satisfiable and an unconstrained random Σ *)
+  List.iter
+    (fun (consistent, seed) ->
+      let schema, sigma = gen_workload ~consistent seed in
+      let run jobs =
+        describe_checking (Checking.check ~jobs ~rng:(Rng.make 4) schema sigma)
+      in
+      let seq = run 1 in
+      check_string
+        (Fmt.str "seed %d jobs=4 identical" seed)
+        seq (run 4))
+    [ (true, 5); (false, 21) ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves submission order" `Quick
+            test_map_order;
+          Alcotest.test_case "map re-raises least-indexed failure" `Quick
+            test_map_least_exception;
+          Alcotest.test_case "first_success selects least index" `Quick
+            test_first_success_least_index;
+          Alcotest.test_case "default_jobs clamp and override" `Quick
+            test_default_jobs_clamped;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "race losers terminate via Cancelled" `Quick
+            test_race_losers_cancelled;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "idempotent under fault injection" `Quick
+            test_shutdown_fault_injection;
+          Alcotest.test_case "with_pool preserves body failure" `Quick
+            test_with_pool_fault_preserves_failure;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "witness identical at any jobs count" `Quick
+            test_jobs_identical_witness;
+          Alcotest.test_case "unknown reason identical at any jobs count" `Quick
+            test_jobs_identical_unknown;
+          Alcotest.test_case "Checking backend race identical" `Quick
+            test_checking_race_identical;
+        ] );
+    ]
