@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig10a micro # selected sections only
      dune exec bench/main.exe -- --timeout 30 # per-series deadline (secs)
      dune exec bench/main.exe -- --jobs 4     # series points in parallel
+     dune exec bench/main.exe -- --chase-engine naive  # ablation baseline
 
    Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
              ablation-n ablation-backend micro
@@ -61,6 +62,17 @@ let () =
         | _ ->
             Fmt.epr "--jobs expects a positive domain count, got %S@." n;
             exit 2)
+    | [ "--chase-engine" ] ->
+        Fmt.epr "--chase-engine needs an argument (delta|naive)@.";
+        exit 2
+    | "--chase-engine" :: name :: rest -> (
+        match Conddep_chase.Chase.engine_of_string name with
+        | Some e ->
+            Conddep_chase.Chase.set_default_engine e;
+            strip_opts rest
+        | None ->
+            Fmt.epr "--chase-engine expects 'delta' or 'naive', got %S@." name;
+            exit 2)
     | a :: rest -> a :: strip_opts rest
   in
   let args = strip_opts args in
@@ -82,6 +94,12 @@ let () =
     (if full then "FULL (paper-scale)" else "QUICK (use --full for paper-scale)");
   (* count events alongside wall-clock: every series prints a counter diff *)
   Telemetry.enable ();
+  Telemetry.register_gauge "interner.values"
+    ~doc:"distinct values interned into the global id table"
+    Conddep_relational.Interner.value_count;
+  Telemetry.register_gauge "interner.symbols"
+    ~doc:"distinct relation/attribute symbols interned"
+    Conddep_relational.Interner.symbol_count;
   let start = Unix.gettimeofday () in
   List.iter (fun (_, f) -> f scale) selected;
   Fmt.pr "@.total: %.1fs@." (Unix.gettimeofday () -. start)

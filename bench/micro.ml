@@ -284,7 +284,117 @@ let parallel_section () =
   Util.row "wrote BENCH_parallel.json (recommended_domain_count=%d)@."
     (Stdlib.Domain.recommended_domain_count ())
 
+(* --- delta-driven chase micro section ----------------------------------------
+
+   Naive vs delta fixpoint engine on the copy micro, N-sweep, written to
+   BENCH_chase.json.  The workload adds a never-firing CFD (rhs: a -> b,
+   all-wildcard) to [indexing_workload]: both engines must re-verify it
+   after every IND insert, which costs the naive engine a full pass over
+   all pairs of the growing [rhs] per step (O(N^3) total) while the delta
+   engine checks only (dirty tuple x relation) pairs (O(N^2) total).  The
+   engines follow the same canonical schedule, so outcomes and final
+   templates are asserted identical; counter deltas (tuples drained,
+   re-checks skipped) are recorded alongside wall-clock. *)
+
+let chase_workload ~n =
+  let schema, _, db = indexing_workload ~n in
+  let cind =
+    {
+      Cind.nf_name = "copy";
+      nf_lhs = "lhs";
+      nf_rhs = "rhs";
+      nf_x = [ "a" ];
+      nf_y = [ "a" ];
+      nf_xp = [];
+      nf_yp = [];
+    }
+  in
+  let cfd =
+    {
+      Cfd.nf_name = "fd";
+      nf_rel = "rhs";
+      nf_x = [ "a" ];
+      nf_a = "b";
+      nf_tx = [ Pattern.Wildcard ];
+      nf_ta = Pattern.Wildcard;
+    }
+  in
+  let compiled =
+    Chase.compile schema { Sigma.ncfds = [ cfd ]; ncinds = [ cind ] }
+  in
+  (schema, compiled, db)
+
+let chase_section () =
+  Util.header "Delta-driven chase: naive vs delta engine N-sweep (BENCH_chase.json)";
+  let m_drained = Telemetry.counter "chase.delta.drained" in
+  let m_skipped = Telemetry.counter "chase.delta.skipped" in
+  let config =
+    { Chase.default_config with threshold = 100_000; max_steps = 1_000_000 }
+  in
+  let ns = [ 50; 100; 200; 400 ] in
+  let rows = ref [] in
+  Util.row "%-8s %-12s %-12s %-9s %-10s %-10s %-10s@." "n" "naive(s)"
+    "delta(s)" "speedup" "drained" "skipped" "identical";
+  List.iter
+    (fun n ->
+      let schema, compiled, db = chase_workload ~n in
+      let run engine () =
+        Chase.run ~engine ~config ~rng:(Rng.make 11) schema compiled db
+      in
+      let naive_r = ref None and delta_r = ref None in
+      let counters = ref (0, 0) in
+      Util.with_series_metrics (Printf.sprintf "micro-chase/engine=naive/n=%d" n)
+        (fun () -> naive_r := Some (Util.time (run `Naive)));
+      Util.with_series_metrics (Printf.sprintf "micro-chase/engine=delta/n=%d" n)
+        (fun () ->
+          let d0 = Telemetry.count m_drained and s0 = Telemetry.count m_skipped in
+          delta_r := Some (Util.time (run `Delta));
+          counters :=
+            (Telemetry.count m_drained - d0, Telemetry.count m_skipped - s0));
+      let (naive_out, naive_s), (delta_out, delta_s) =
+        (Option.get !naive_r, Option.get !delta_r)
+      in
+      let identical =
+        match (naive_out, delta_out) with
+        | Chase.Terminal t1, Chase.Terminal t2 -> Template.equal t1 t2
+        | Chase.Undefined r1, Chase.Undefined r2 -> String.equal r1 r2
+        | Chase.Exhausted r1, Chase.Exhausted r2 -> r1 = r2
+        | _ -> false
+      in
+      assert identical;
+      let speedup = if delta_s > 0. then naive_s /. delta_s else Float.nan in
+      let drained, skipped = !counters in
+      Util.row "%-8d %-12.4f %-12.4f %-9.2f %-10d %-10d %-10b@." n naive_s
+        delta_s speedup drained skipped identical;
+      rows := (n, naive_s, delta_s, speedup, drained, skipped) :: !rows)
+    ns;
+  let rows = List.rev !rows in
+  let largest_n, _, _, top_speedup, _, _ =
+    List.nth rows (List.length rows - 1)
+  in
+  let oc = open_out "BENCH_chase.json" in
+  let j = Printf.fprintf in
+  j oc "{\n";
+  j oc "  \"series\": [\n";
+  List.iteri
+    (fun i (n, naive_s, delta_s, speedup, drained, skipped) ->
+      j oc
+        "    {\"n\": %d, \"naive_s\": %.6f, \"delta_s\": %.6f, \"speedup\": \
+         %.4f, \"drained\": %d, \"skipped\": %d}%s\n"
+        n naive_s delta_s speedup drained skipped
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  j oc "  ],\n";
+  j oc "  \"largest_n\": %d,\n" largest_n;
+  j oc "  \"delta_speedup\": %.4f,\n" top_speedup;
+  j oc "  \"results_identical\": true\n";
+  j oc "}\n";
+  close_out oc;
+  Util.row "wrote BENCH_chase.json (delta speedup at n=%d: %.2fx)@." largest_n
+    top_speedup
+
 let run () =
+  chase_section ();
   parallel_section ();
   Util.header "Bechamel micro-benchmarks (one per table/figure)";
   let ols =

@@ -468,6 +468,7 @@ let stats_cmd =
         exit_usage
     | ic ->
         let counters = Hashtbl.create 64 in
+        let gauges = Hashtbl.create 16 in
         let hists = Hashtbl.create 32 in
         let spans = Hashtbl.create 32 in
         let malformed = ref 0 in
@@ -478,6 +479,8 @@ let stats_cmd =
                match Telemetry.parse_event line with
                | Some (Telemetry.Counter_event { name; value }) ->
                    Hashtbl.replace counters name value
+               | Some (Telemetry.Gauge_event { name; value }) ->
+                   Hashtbl.replace gauges name value
                | Some (Telemetry.Histogram_event { name; stats }) ->
                    Hashtbl.replace hists name stats
                | Some (Telemetry.Span_event { name; dur_s; _ }) ->
@@ -495,6 +498,10 @@ let stats_cmd =
         Fmt.pr "@[<v># metrics from %s@," path;
         Fmt.pr "@,-- counters@,";
         List.iter (fun (name, v) -> Fmt.pr "%-44s %d@," name v) (sorted counters);
+        if Hashtbl.length gauges > 0 then begin
+          Fmt.pr "@,-- gauges@,";
+          List.iter (fun (name, v) -> Fmt.pr "%-44s %d@," name v) (sorted gauges)
+        end;
         Fmt.pr "@,-- histograms (durations)@,";
         List.iter
           (fun (name, (hs : Telemetry.histogram_stats)) ->
@@ -539,6 +546,7 @@ type globals = {
   g_timeout : float option;
   g_fuel : int option;
   g_jobs : int option;
+  g_engine : Conddep_chase.Chase.engine option;
 }
 
 let extract_globals argv =
@@ -563,6 +571,13 @@ let extract_globals argv =
     | Some n when n >= 1 -> Ok (Some n)
     | _ -> Error (Printf.sprintf "--jobs expects a positive domain count, got %S" s)
   in
+  let engine_of s =
+    match Conddep_chase.Chase.engine_of_string s with
+    | Some e -> Ok (Some e)
+    | None ->
+        Error
+          (Printf.sprintf "--chase-engine expects 'delta' or 'naive', got %S" s)
+  in
   let rec go g = function
     | [] -> Ok { g with g_rest = List.rev g.g_rest }
     | "--trace" :: rest -> go { g with g_trace = true } rest
@@ -582,6 +597,11 @@ let extract_globals argv =
     | "--jobs" :: n :: rest -> (
         match jobs_of n with
         | Ok j -> go { g with g_jobs = j } rest
+        | Error _ as e -> e)
+    | [ "--chase-engine" ] -> Error "option --chase-engine needs an argument"
+    | "--chase-engine" :: name :: rest -> (
+        match engine_of name with
+        | Ok e -> go { g with g_engine = e } rest
         | Error _ as e -> e)
     | arg :: rest -> (
         match split_eq "--metrics=" arg with
@@ -604,7 +624,13 @@ let extract_globals argv =
                         match jobs_of n with
                         | Ok j -> go { g with g_jobs = j } rest
                         | Error _ as e -> e)
-                    | None -> go { g with g_rest = arg :: g.g_rest } rest))))
+                    | None -> (
+                        match split_eq "--chase-engine=" arg with
+                        | Some name -> (
+                            match engine_of name with
+                            | Ok e -> go { g with g_engine = e } rest
+                            | Error _ as e -> e)
+                        | None -> go { g with g_rest = arg :: g.g_rest } rest)))))
   in
   go
     {
@@ -614,11 +640,20 @@ let extract_globals argv =
       g_timeout = None;
       g_fuel = None;
       g_jobs = None;
+      g_engine = None;
     }
     argv
 
 let setup_telemetry ~trace ~metrics =
   if trace || metrics <> None then Telemetry.enable ();
+  (* Interner table sizes as pull-based gauges: lib/relational cannot
+     depend on telemetry, so the application registers the closures. *)
+  Telemetry.register_gauge "interner.values"
+    ~doc:"distinct values interned into the global id table"
+    Interner.value_count;
+  Telemetry.register_gauge "interner.symbols"
+    ~doc:"distinct relation/attribute symbols interned"
+    Interner.symbol_count;
   (match metrics with
   | Some path ->
       let oc = open_out path in
@@ -641,6 +676,14 @@ let setup_guard ~timeout ~fuel =
 let setup_jobs ~jobs =
   match jobs with
   | Some j -> Parallel.set_default_jobs j
+  | None -> ()
+
+(* --chase-engine sets the process-wide default every ?engine parameter
+   inherits; both engines compute bit-identical results, so this is an
+   ablation/debugging switch, not a semantic one. *)
+let setup_engine ~engine =
+  match engine with
+  | Some e -> Conddep_chase.Chase.set_default_engine e
   | None -> ()
 
 (* --- main --------------------------------------------------------------------- *)
@@ -677,6 +720,15 @@ let () =
          uniformly (generation itself is deterministic from $(b,--seed)).  \
          Verdicts, witnesses and exit codes are identical to $(b,--jobs 1) \
          for a fixed seed; only wall-clock time changes.";
+      `P
+        "$(b,--chase-engine) $(i,ENGINE) (anywhere on the command line) \
+         selects the chase fixpoint engine: $(b,delta) (default) drains \
+         dirty-tuple worklists and re-checks only dependencies whose \
+         left-hand relation was touched; $(b,naive) rescans every candidate \
+         at each step (the ablation baseline).  Both engines follow the \
+         same canonical operation schedule and produce bit-identical \
+         verdicts, witnesses and exit codes at any $(b,--jobs) count; only \
+         wall-clock time changes.";
     ]
   in
   let info =
@@ -691,6 +743,7 @@ let () =
       setup_telemetry ~trace:g.g_trace ~metrics:g.g_metrics;
       setup_guard ~timeout:g.g_timeout ~fuel:g.g_fuel;
       setup_jobs ~jobs:g.g_jobs;
+      setup_engine ~engine:g.g_engine;
       let argv = Array.of_list (Sys.argv.(0) :: g.g_rest) in
       let group =
         Cmd.group info

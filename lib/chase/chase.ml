@@ -17,7 +17,25 @@ open Conddep_core
 
    The instantiated chase chase_I additionally bounds every relation by the
    threshold T; exceeding it makes the chase undefined (Section 5.2).  A
-   step budget guards against ping-pong between pool re-use and merging. *)
+   step budget guards against ping-pong between pool re-use and merging.
+
+   Two engines implement one *canonical schedule* (see DESIGN.md §10):
+
+   - the next FD operation is the first CFD in compiled order that has a
+     violating pair, applied to the lexicographically least such pair
+     (tuples ordered by [Template.tuple_compare], pair normalized so the
+     smaller tuple comes first);
+   - the next IND operation is found by a round-robin cursor over the
+     CINDs (resuming after the last applied one — fairness), applied to
+     the least triggering tuple without a witness.
+
+   Because the schedule is a function of template *content* only, the
+   [`Naive] engine (recompute candidates by full rescans at every step)
+   and the [`Delta] engine (dirty-tuple worklists; only tuples added or
+   rewritten since they were last checked are re-examined) perform the
+   same operation sequence, consume the random stream identically, and
+   return bit-identical outcomes — the differential guarantee the
+   equivalence property test enforces. *)
 
 type config = {
   pool_size : int; (* N: maximum size of each var[A] *)
@@ -31,6 +49,8 @@ let m_ind_steps = Telemetry.counter "chase.ind_steps" ~doc:"IND(psi) application
 let m_fd_undefined = Telemetry.counter "chase.fd_undefined" ~doc:"FD(phi) constant clashes (chase undefined)"
 let m_threshold_hits = Telemetry.counter "chase.threshold_hits" ~doc:"IND(psi) refusals: relation at the bound T"
 let m_budget_exceeded = Telemetry.counter "chase.budget_exceeded" ~doc:"chase loops stopped by the step budget"
+let m_drained = Telemetry.counter "chase.delta.drained" ~doc:"dirty worklist entries drained (tuples re-examined)"
+let m_skipped = Telemetry.counter "chase.delta.skipped" ~doc:"tuple re-checks skipped versus a full rescan"
 
 let default_config = { pool_size = 2; threshold = 2000; max_steps = 20_000 }
 
@@ -38,6 +58,26 @@ type outcome =
   | Terminal of Template.t
   | Undefined of string
   | Exhausted of Guard.reason
+
+(* --- engine selection ---
+
+   The delta engine is the default; the naive engine is kept as the
+   ablation baseline behind [--chase-engine].  The process-wide default
+   mirrors [Parallel.set_default_jobs]: the CLI sets it once, libraries
+   resolve it at entry points. *)
+
+type engine = [ `Delta | `Naive ]
+
+let default_engine_flag = Atomic.make true (* true = `Delta *)
+let set_default_engine e = Atomic.set default_engine_flag (e = `Delta)
+let default_engine () : engine = if Atomic.get default_engine_flag then `Delta else `Naive
+let resolve_engine = function Some e -> e | None -> default_engine ()
+let engine_to_string = function `Delta -> "delta" | `Naive -> "naive"
+
+let engine_of_string = function
+  | "delta" -> Some `Delta
+  | "naive" -> Some `Naive
+  | _ -> None
 
 (* --- compiled constraints (attribute names resolved to positions) --- *)
 
@@ -108,6 +148,27 @@ let compile schema (sigma : Sigma.nf) =
     cfds = List.map (compile_cfd schema) sigma.ncfds;
   }
 
+(* --- dirty-tuple worklists ---------------------------------------------------
+
+   A worklist maps a relation name to the tuples that must be re-examined
+   against the dependencies over that relation.  Entries may be stale
+   (rewritten away by a substitution since they were enqueued — the
+   rewritten version is enqueued separately) or duplicated; draining
+   filters by membership and selection is by canonical minimum, so neither
+   affects the schedule. *)
+
+type worklist = (string, Template.tuple list ref) Hashtbl.t
+
+let wl_create () : worklist = Hashtbl.create 8
+
+let wl_push (wl : worklist) rel t =
+  match Hashtbl.find_opt wl rel with
+  | Some r -> r := t :: !r
+  | None -> Hashtbl.add wl rel (ref [ t ])
+
+let wl_take (wl : worklist) rel =
+  match Hashtbl.find_opt wl rel with Some r -> !r | None -> []
+
 (* --- FD(φ) --- *)
 
 type fd_result =
@@ -115,98 +176,213 @@ type fd_result =
   | Fd_unchanged
   | Fd_undefined of string
 
-(* One FD(φ) application to the first violating pair found. *)
-let fd_step cfd db =
-  let tuples = Template.tuples db cfd.f_rel in
-  let lhs_agree_and_match t1 t2 =
+(* What one FD(φ) application to a violating pair would do. *)
+type fd_action =
+  | Act_clash of string (* chase undefined: distinct constants *)
+  | Act_subst of (Template.var * Template.cell) list (* nonempty *)
+
+(* Evaluate the pair (t1, t2) — which may be a self-pair (t, t): a single
+   tuple matching tp[X] can clash with a constant conclusion pattern all
+   by itself.  Returns [None] when the pair does not violate [cfd]. *)
+let fd_violation cfd (t1 : Template.tuple) (t2 : Template.tuple) =
+  let lhs_agree_and_match =
     List.for_all
       (fun (pos, cell) ->
         Template.cell_equal t1.(pos) t2.(pos)
         && Template.cell_matches_pattern t1.(pos) cell)
       cfd.f_tx
   in
-  let rec pairs = function
-    | [] -> Fd_unchanged
-    | t1 :: rest -> (
-        let rec inner = function
-          | [] -> pairs rest
-          | t2 :: rest2 -> (
-              if not (lhs_agree_and_match t1 t2) then inner rest2
-              else
-                let a1 = t1.(cfd.f_a) and a2 = t2.(cfd.f_a) in
-                match cfd.f_ta with
-                | Pattern.Wildcard ->
-                    if Template.cell_equal a1 a2 then inner rest2
-                    else (
-                      match a1, a2 with
-                      | Template.C _, Template.C _ ->
-                          Fd_undefined
-                            (Fmt.str "FD(%s): distinct constants %a, %a" cfd.f_name
-                               Template.pp_cell a1 Template.pp_cell a2)
-                      | _ ->
-                          (* replace the smaller cell by the larger one *)
-                          let small, large =
-                            if Template.cell_compare a1 a2 < 0 then (a1, a2) else (a2, a1)
-                          in
-                          let var =
-                            match small with Template.V v -> v | Template.C _ -> assert false
-                          in
-                          Fd_changed (Template.subst db var large))
-                | Pattern.Const a -> (
-                    let conflict c =
-                      match c with
-                      | Template.C v -> not (Value.equal v a)
-                      | Template.V _ -> false
-                    in
-                    if conflict a1 || conflict a2 then
-                      Fd_undefined
-                        (Fmt.str "FD(%s): constant clashes with pattern %a" cfd.f_name
-                           Value.pp a)
-                    else
-                      let db, changed1 =
-                        match a1 with
-                        | Template.V v -> (Template.subst db v (Template.C a), true)
-                        | Template.C _ -> (db, false)
-                      in
-                      let db, changed2 =
-                        match a2 with
-                        | Template.V v -> (Template.subst db v (Template.C a), true)
-                        | Template.C _ -> (db, false)
-                      in
-                      if changed1 || changed2 then Fd_changed db else inner rest2))
+  if not lhs_agree_and_match then None
+  else
+    let a1 = t1.(cfd.f_a) and a2 = t2.(cfd.f_a) in
+    match cfd.f_ta with
+    | Pattern.Wildcard -> (
+        if Template.cell_equal a1 a2 then None
+        else
+          match a1, a2 with
+          | Template.C _, Template.C _ ->
+              Some
+                (Act_clash
+                   (Fmt.str "FD(%s): distinct constants %a, %a" cfd.f_name
+                      Template.pp_cell a1 Template.pp_cell a2))
+          | _ ->
+              (* replace the smaller cell by the larger one *)
+              let small, large =
+                if Template.cell_compare a1 a2 < 0 then (a1, a2) else (a2, a1)
+              in
+              let var =
+                match small with Template.V v -> v | Template.C _ -> assert false
+              in
+              Some (Act_subst [ (var, large) ]))
+    | Pattern.Const a ->
+        let conflict c =
+          match c with
+          | Template.C v -> not (Value.equal v a)
+          | Template.V _ -> false
         in
-        inner (t1 :: rest))
+        if conflict a1 || conflict a2 then
+          Some
+            (Act_clash
+               (Fmt.str "FD(%s): constant clashes with pattern %a" cfd.f_name
+                  Value.pp a))
+        else
+          let substs =
+            match a1, a2 with
+            | Template.V v1, Template.V v2 when Template.var_compare v1 v2 = 0 ->
+                [ (v1, Template.C a) ]
+            | Template.V v1, Template.V v2 -> [ (v1, Template.C a); (v2, Template.C a) ]
+            | Template.V v, Template.C _ | Template.C _, Template.V v ->
+                [ (v, Template.C a) ]
+            | Template.C _, Template.C _ -> []
+          in
+          if substs = [] then None else Some (Act_subst substs)
+
+(* Canonical pair selection: fold violating pairs keeping the least
+   normalized pair (u <= v) under the lexicographic tuple order.  The
+   violation itself is only evaluated when the pair key improves on the
+   current best — the common case is a cheap two-comparison skip. *)
+let fd_consider cfd best t1 t2 =
+  let u, v =
+    if Template.tuple_compare t1 t2 <= 0 then (t1, t2) else (t2, t1)
   in
-  pairs tuples
+  let better =
+    match best with
+    | None -> true
+    | Some (bu, bv, _) -> (
+        match Template.tuple_compare u bu with
+        | 0 -> Template.tuple_compare v bv < 0
+        | c -> c < 0)
+  in
+  if not better then best
+  else match fd_violation cfd u v with None -> best | Some act -> Some (u, v, act)
+
+(* First CFD (compiled order) with a violating pair; least pair.  Full
+   rescan: every unordered pair, self-pairs included. *)
+let fd_pick_naive cfds db =
+  let rec go = function
+    | [] -> None
+    | cfd :: rest -> (
+        let tuples = Template.tuples db cfd.f_rel in
+        let rec outer best = function
+          | [] -> best
+          | t1 :: more ->
+              let best =
+                List.fold_left (fun best t2 -> fd_consider cfd best t1 t2) best
+                  (t1 :: more)
+              in
+              outer best more
+        in
+        match outer None tuples with
+        | Some (_, _, act) -> Some act
+        | None -> go rest)
+  in
+  go cfds
+
+(* Same selection over (dirty × relation) pairs only.  Invariant: every
+   violating pair contains at least one dirty tuple — initially all tuples
+   are dirty, a pair of clean tuples was examined violation-free and both
+   its tuples are unchanged since (substitutions enqueue the rewritten
+   versions), and worklists are only cleared when a full saturation pass
+   found no violation at all. *)
+let fd_pick_delta cfds db (dirty : worklist) =
+  let rec go = function
+    | [] -> None
+    | cfd :: rest -> (
+        match wl_take dirty cfd.f_rel with
+        | [] -> go rest
+        | pending -> (
+            let all = Template.tuples db cfd.f_rel in
+            let live = List.filter (Template.mem db cfd.f_rel) pending in
+            Telemetry.add m_drained (List.length live);
+            Telemetry.add m_skipped
+              (max 0 (Template.cardinal db cfd.f_rel - List.length live));
+            let best =
+              List.fold_left
+                (fun best p ->
+                  List.fold_left (fun best t -> fd_consider cfd best p t) best all)
+                None live
+            in
+            match best with
+            | Some (_, _, act) -> Some act
+            | None -> go rest))
+  in
+  go cfds
+
+(* One FD saturation pass shared by both engines.  [max_steps] is local
+   fuel (fresh per pass, like the old per-call [fd_fixpoint] bound);
+   [on_delta] observes every substitution's tuple-level change set — the
+   delta engine feeds it back into its worklists and the witness index.
+   On a violation-free pass the delta engine's FD worklists are cleared:
+   together with the invariant above this certifies there is no violating
+   pair at all. *)
+let fd_saturate ~engine ~budget ~max_steps ~on_delta cfds (dirty : worklist) db =
+  let fuel = Guard.make ~fuel:max_steps () in
+  let rec go db =
+    let pick =
+      match engine with
+      | `Naive -> fd_pick_naive cfds db
+      | `Delta -> fd_pick_delta cfds db dirty
+    in
+    match pick with
+    | None ->
+        (match engine with `Delta -> Hashtbl.reset dirty | `Naive -> ());
+        Ok db
+    | Some (Act_clash why) ->
+        Telemetry.incr m_fd_undefined;
+        Error why
+    | Some (Act_subst bindings) ->
+        Telemetry.incr m_fd_steps;
+        Guard.tick fuel;
+        Guard.tick budget;
+        let db' =
+          List.fold_left
+            (fun db (var, cell) ->
+              let db', d = Template.subst_track db var cell in
+              on_delta ~before:db ~after:db' d;
+              db')
+            db bindings
+        in
+        go db'
+  in
+  go db
+
+(* One FD(φ) application (canonical least violating pair) — kept as a
+   building block for tests and callers stepping manually. *)
+let fd_step cfd db =
+  match fd_pick_naive [ cfd ] db with
+  | None -> Fd_unchanged
+  | Some (Act_clash why) -> Fd_undefined why
+  | Some (Act_subst bindings) ->
+      Fd_changed
+        (List.fold_left (fun db (var, cell) -> Template.subst db var cell) db bindings)
 
 (* Chase with CFDs only, to fixpoint.  The step bound is local fuel: its
    exhaustion means this particular fixpoint attempt gave up, which callers
    may absorb (a failed heuristic attempt); shared-budget exhaustion also
    surfaces as [Exhausted] but with the shared budget marked spent, which
    callers must propagate (Guard.recoverable makes the distinction). *)
-let fd_fixpoint ?budget ?(max_steps = 10_000) cfds db =
+let fd_fixpoint ?budget ?engine ?(max_steps = 10_000) cfds db =
   let budget = Guard.resolve budget in
-  let fuel = Guard.make ~fuel:max_steps () in
-  let rec go db =
-    let rec try_cfds = function
-      | [] -> Terminal db
-      | cfd :: rest -> (
-          match fd_step cfd db with
-          | Fd_changed db' ->
-              Telemetry.incr m_fd_steps;
-              Guard.tick fuel;
-              Guard.tick budget;
-              go db'
-          | Fd_unchanged -> try_cfds rest
-          | Fd_undefined why ->
-              Telemetry.incr m_fd_undefined;
-              Undefined why)
-    in
-    try_cfds cfds
+  let engine = resolve_engine engine in
+  let dirty = wl_create () in
+  let on_delta ~before:_ ~after:_ (d : Template.delta) =
+    if engine = `Delta then
+      List.iter (fun (rel, t) -> wl_push dirty rel t) d.Template.d_added
   in
+  (if engine = `Delta then
+     let seeded = Hashtbl.create 8 in
+     List.iter
+       (fun cfd ->
+         if not (Hashtbl.mem seeded cfd.f_rel) then begin
+           Hashtbl.add seeded cfd.f_rel ();
+           List.iter (wl_push dirty cfd.f_rel) (Template.tuples db cfd.f_rel)
+         end)
+       cfds);
   try
     Guard.probe ~budget "chase.fd_fixpoint";
-    go db
+    match fd_saturate ~engine ~budget ~max_steps ~on_delta cfds dirty db with
+    | Ok db -> Terminal db
+    | Error why -> Undefined why
   with Guard.Exhausted r ->
     Telemetry.incr m_budget_exceeded;
     Exhausted r
@@ -238,19 +414,23 @@ let has_witness cind db (ta : Template.tuple) =
    value id ([Interner.id]), variables by a small per-index counter — so
    key comparison never traverses values.
 
-   Staleness is detected by physical identity: templates are persistent and
-   threaded linearly through the chase, so [ix_db != db] exactly means the
-   template changed since the last refresh (an FD substitution or an insert
-   into another relation allocates a new record).  A stale index is rebuilt
-   in one O(|R|) pass — the cost of a single scan, amortized over every
-   lookup it replaces — while an IND insert into our own RHS is folded in
-   incrementally. *)
+   Staleness is detected by physical identity of the RHS relation's tuple
+   list: templates are persistent and share untouched relation stores, so
+   [ix_src != Template.tuples db rel] exactly means *that relation*
+   changed since the last refresh.  A stale index is rebuilt in one O(|R|)
+   pass; the delta engine avoids even that by maintaining the entries
+   incrementally (multiset semantics: two RHS tuples may share a key, so
+   inserts [Hashtbl.add] and deletions [Hashtbl.remove] one binding). *)
 
 let m_index_rebuilds =
-  Telemetry.counter "chase.index_rebuilds" ~doc:"witness-index full rebuilds (template changed)"
+  Telemetry.counter "chase.index_rebuilds" ~doc:"witness-index full rebuilds (RHS relation changed)"
+
+let m_index_maint =
+  Telemetry.counter "chase.index_maintenance"
+    ~doc:"incremental witness-index key updates (adds + removes)"
 
 type cind_index = {
-  mutable ix_db : Template.t option; (* template the entries reflect *)
+  mutable ix_src : Template.tuple list; (* RHS tuple list the entries reflect *)
   ix_tbl : (int list, unit) Hashtbl.t;
   ix_vars : (Template.var, int) Hashtbl.t; (* local variable encoder *)
   mutable ix_nvars : int;
@@ -291,31 +471,76 @@ let cind_index_for (wix : witness_index) cind db =
     | Some ix -> ix
     | None ->
         let ix =
-          { ix_db = None; ix_tbl = Hashtbl.create 64; ix_vars = Hashtbl.create 16; ix_nvars = 0 }
+          { ix_src = []; ix_tbl = Hashtbl.create 64; ix_vars = Hashtbl.create 16; ix_nvars = 0 }
         in
         Hashtbl.replace wix cind.i_uid ix;
         ix
   in
-  (match ix.ix_db with
-  | Some db' when db' == db -> ()
-  | _ ->
-      Telemetry.incr m_index_rebuilds;
-      Hashtbl.reset ix.ix_tbl;
-      List.iter
-        (fun tb -> Hashtbl.replace ix.ix_tbl (witness_key ix cind tb) ())
-        (Template.tuples db cind.i_rhs);
-      ix.ix_db <- Some db);
+  let src = Template.tuples db cind.i_rhs in
+  if ix.ix_src != src then begin
+    Telemetry.incr m_index_rebuilds;
+    Hashtbl.reset ix.ix_tbl;
+    List.iter (fun tb -> Hashtbl.add ix.ix_tbl (witness_key ix cind tb) ()) src;
+    ix.ix_src <- src
+  end;
   ix
 
-(* Fold a just-inserted RHS tuple into the index: [db'] differs from the
-   indexed template only by [tb] (the caller probed against [ix.ix_db]
-   immediately before the insert). *)
+(* Fold a just-inserted RHS tuple into the index: the caller probed
+   against the current template immediately before the insert, so the
+   entry is fresh. *)
 let index_note_add (wix : witness_index) cind db' tb =
   match Hashtbl.find_opt wix cind.i_uid with
   | None -> ()
   | Some ix ->
-      Hashtbl.replace ix.ix_tbl (witness_key ix cind tb) ();
-      ix.ix_db <- Some db'
+      Hashtbl.add ix.ix_tbl (witness_key ix cind tb) ();
+      ix.ix_src <- Template.tuples db' cind.i_rhs
+
+(* Delta-engine maintenance: apply one insert / one substitution delta to
+   every *materialized* index whose RHS relation was rewritten and whose
+   entries were fresh w.r.t. the pre-change template.  Anything else is
+   left stale and lazily rebuilt on next use — never corrupted. *)
+let index_note_insert (wix : witness_index) cinds ~before ~after rel tb =
+  List.iter
+    (fun cind ->
+      if String.equal cind.i_rhs rel then
+        match Hashtbl.find_opt wix cind.i_uid with
+        | None -> ()
+        | Some ix ->
+            if ix.ix_src == Template.tuples before rel then begin
+              Hashtbl.add ix.ix_tbl (witness_key ix cind tb) ();
+              ix.ix_src <- Template.tuples after rel;
+              Telemetry.incr m_index_maint
+            end)
+    cinds
+
+let index_note_subst (wix : witness_index) cinds ~before ~after (d : Template.delta) =
+  if d.Template.d_removed <> [] then
+    List.iter
+      (fun cind ->
+        match Hashtbl.find_opt wix cind.i_uid with
+        | None -> ()
+        | Some ix ->
+            let rel = cind.i_rhs in
+            let src_before = Template.tuples before rel in
+            let src_after = Template.tuples after rel in
+            if src_before != src_after && ix.ix_src == src_before then begin
+              List.iter
+                (fun (r, t) ->
+                  if String.equal r rel then begin
+                    Hashtbl.remove ix.ix_tbl (witness_key ix cind t);
+                    Telemetry.incr m_index_maint
+                  end)
+                d.Template.d_removed;
+              List.iter
+                (fun (r, t) ->
+                  if String.equal r rel then begin
+                    Hashtbl.add ix.ix_tbl (witness_key ix cind t) ();
+                    Telemetry.incr m_index_maint
+                  end)
+                d.Template.d_added;
+              ix.ix_src <- src_after
+            end)
+      cinds
 
 (* Build the witness tuple IND(ψ) inserts for [ta].  In instantiated mode,
    unconstrained finite-domain fields take random constants instead of pool
@@ -338,81 +563,293 @@ type ind_result =
   | Ind_unchanged
   | Ind_overflow of string
 
-(* One IND(ψ) application to the first triggering tuple without witness.
+(* Canonical IND selection: the least (by tuple order) triggering tuple
+   without a witness among [candidates].  The order comparison runs before
+   the (costlier) trigger/witness evaluation, so dominated candidates are
+   skipped cheaply. *)
+let ind_min_firing cind ~witnessed candidates =
+  List.fold_left
+    (fun best ta ->
+      match best with
+      | Some b when Template.tuple_compare b ta <= 0 -> best
+      | _ -> if triggers cind ta && not (witnessed ta) then Some ta else best)
+    None candidates
+
+let witnessed_fun ?index cind db =
+  match index with
+  | None -> fun ta -> has_witness cind db ta
+  | Some wix ->
+      let ix = cind_index_for wix cind db in
+      fun ta -> Hashtbl.mem ix.ix_tbl (probe_key ix cind ta)
+
+(* One IND(ψ) application to the least triggering tuple without witness.
    The relation-size threshold T is enforced unconditionally — Section 5.1
    frames the whole extension as a chase over bounded-size tables.
    [?index] memoizes the witness check across steps; the indexed and
    unindexed paths compute the same boolean, so results are identical
    (the bench compares them for the pre/post-indexing numbers). *)
 let ind_step ?index ~instantiated ~threshold pool rng schema cind db =
-  let witnessed =
-    match index with
-    | None -> fun ta -> has_witness cind db ta
-    | Some wix ->
-        let ix = cind_index_for wix cind db in
-        fun ta -> Hashtbl.mem ix.ix_tbl (probe_key ix cind ta)
-  in
-  let rec go = function
-    | [] -> Ind_unchanged
-    | ta :: rest ->
-        if triggers cind ta && not (witnessed ta) then
-          if Template.cardinal db cind.i_rhs >= threshold then begin
-            Telemetry.incr m_threshold_hits;
-            Ind_overflow
-              (Printf.sprintf "IND(%s): relation %s exceeds threshold T" cind.i_name
-                 cind.i_rhs)
-          end
-          else begin
-            Telemetry.incr m_ind_steps;
-            let tb = witness_tuple ~instantiated pool rng schema cind ta in
-            let db' = Template.add db cind.i_rhs tb in
-            (match index with
-            | Some wix -> index_note_add wix cind db' tb
-            | None -> ());
-            Ind_changed db'
-          end
-        else go rest
-  in
-  go (Template.tuples db cind.i_lhs)
+  let witnessed = witnessed_fun ?index cind db in
+  match ind_min_firing cind ~witnessed (Template.tuples db cind.i_lhs) with
+  | None -> Ind_unchanged
+  | Some ta ->
+      if Template.cardinal db cind.i_rhs >= threshold then begin
+        Telemetry.incr m_threshold_hits;
+        Ind_overflow
+          (Printf.sprintf "IND(%s): relation %s exceeds threshold T" cind.i_name
+             cind.i_rhs)
+      end
+      else begin
+        Telemetry.incr m_ind_steps;
+        let tb = witness_tuple ~instantiated pool rng schema cind ta in
+        let db' = Template.add db cind.i_rhs tb in
+        (match index with
+        | Some wix -> index_note_add wix cind db' tb
+        | None -> ());
+        Ind_changed db'
+      end
+
+(* --- round-robin IND cursor --------------------------------------------------
+
+   Replaces the old head-restart [try_cinds] loop in both [run] and
+   RandomChecking's interleaved chase: the scan for the next IND operation
+   resumes after the last applied CIND (wrapping), so every CIND is
+   visited between two applications of any one of them — fairness.
+
+   With the [`Delta] engine the cursor keeps one pending worklist per
+   CIND, holding exactly the tuples that could newly fire it: seeded with
+   the LHS relation, extended by inserts into that relation (via
+   [note_*]), shrunk when a full evaluation finds a tuple non-firing.
+   Non-firing is stable — inserts only ever *add* witnesses, and a
+   substitution re-enqueues every rewritten tuple while a witness for an
+   untouched tuple keeps its key (equal cells stay equal under uniform
+   substitution, and tp[Yp] positions hold constants) — so clean tuples
+   never need re-examination.  If the template changes without
+   notification (physical identity mismatch), the worklists are reseeded
+   from scratch, which costs exactly one naive scan. *)
+
+module Ind_cursor = struct
+  type step_result =
+    | Step_applied of { db : Template.t; rel : string; tuple : Template.tuple }
+    | Step_none
+    | Step_overflow of string
+
+  type t = {
+    c_cinds : compiled_cind array;
+    c_cind_list : compiled_cind list;
+    c_by_lhs : (int, int list) Hashtbl.t; (* Interner.symbol lhs -> indices *)
+    c_engine : engine;
+    c_index : witness_index option;
+    c_pool : Pool.t;
+    c_schema : Db_schema.t;
+    c_instantiated : bool;
+    c_threshold : int;
+    mutable c_pos : int;
+    mutable c_known : Template.t option; (* template the worklists reflect *)
+    c_pending : Template.tuple list ref array;
+  }
+
+  let create ?index ~engine ~instantiated ~threshold pool schema cinds =
+    let arr = Array.of_list cinds in
+    let by_lhs = Hashtbl.create 16 in
+    Array.iteri
+      (fun i c ->
+        let key = Interner.symbol c.i_lhs in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_lhs key) in
+        Hashtbl.replace by_lhs key (i :: prev))
+      arr;
+    {
+      c_cinds = arr;
+      c_cind_list = cinds;
+      c_by_lhs = by_lhs;
+      c_engine = engine;
+      c_index = index;
+      c_pool = pool;
+      c_schema = schema;
+      c_instantiated = instantiated;
+      c_threshold = threshold;
+      c_pos = 0;
+      c_known = None;
+      c_pending = Array.map (fun _ -> ref []) arr;
+    }
+
+  let reseed t db =
+    Array.iteri
+      (fun i cind -> t.c_pending.(i) := Template.tuples db cind.i_lhs)
+      t.c_cinds;
+    t.c_known <- Some db
+
+  (* An insert of [tuple] into [rel] produced [after]: tuples of other
+     relations cannot newly fire (triggering looks at the LHS relation
+     only), so only the worklists of CINDs with that LHS grow. *)
+  let note_insert t ~before ~after rel tuple =
+    if t.c_engine = `Delta then begin
+      (match t.c_index with
+      | Some wix -> index_note_insert wix t.c_cind_list ~before ~after rel tuple
+      | None -> ());
+      match t.c_known with
+      | Some k when k == before ->
+          (match Hashtbl.find_opt t.c_by_lhs (Interner.symbol rel) with
+          | Some idxs ->
+              List.iter (fun i -> t.c_pending.(i) := tuple :: !(t.c_pending.(i))) idxs
+          | None -> ());
+          t.c_known <- Some after
+      | _ -> t.c_known <- None (* unexpected history: reseed on next step *)
+    end
+
+  (* A substitution happened: every rewritten tuple must be re-examined
+     (the old versions go stale in the worklists and are filtered out on
+     drain); the witness index is maintained from the exact delta. *)
+  let note_subst t ~before ~after (d : Template.delta) =
+    if t.c_engine = `Delta && d.Template.d_removed <> [] then begin
+      (match t.c_index with
+      | Some wix -> index_note_subst wix t.c_cind_list ~before ~after d
+      | None -> ());
+      match t.c_known with
+      | Some k when k == before ->
+          List.iter
+            (fun (rel, tuple) ->
+              match Hashtbl.find_opt t.c_by_lhs (Interner.symbol rel) with
+              | Some idxs ->
+                  List.iter
+                    (fun i -> t.c_pending.(i) := tuple :: !(t.c_pending.(i)))
+                    idxs
+              | None -> ())
+            d.Template.d_added;
+          t.c_known <- Some after
+      | _ -> t.c_known <- None
+    end
+
+  let step ?budget t ~rng db =
+    let n = Array.length t.c_cinds in
+    if n = 0 then Step_none
+    else begin
+      (if t.c_engine = `Delta then
+         match t.c_known with
+         | Some k when k == db -> ()
+         | _ ->
+             (* cold entry (or the caller rewrote the template without
+                telling us): fault-probed, then one full reseed *)
+             Guard.probe ?budget "chase.delta.drain";
+             reseed t db);
+      let budget = Guard.resolve budget in
+      let rec scan k =
+        if k >= n then Step_none
+        else begin
+          Guard.check budget;
+          let j = (t.c_pos + k) mod n in
+          let cind = t.c_cinds.(j) in
+          let witnessed = witnessed_fun ?index:t.c_index cind db in
+          let candidates =
+            match t.c_engine with
+            | `Naive -> Template.tuples db cind.i_lhs
+            | `Delta ->
+                let pending = !(t.c_pending.(j)) in
+                let live = List.filter (Template.mem db cind.i_lhs) pending in
+                Telemetry.add m_drained (List.length live);
+                Telemetry.add m_skipped
+                  (max 0 (Template.cardinal db cind.i_lhs - List.length live));
+                live
+          in
+          match ind_min_firing cind ~witnessed candidates with
+          | None ->
+              (* every candidate evaluated non-firing: clean until the
+                 next insert or substitution re-enqueues something *)
+              if t.c_engine = `Delta then t.c_pending.(j) := [];
+              scan (k + 1)
+          | Some ta ->
+              if Template.cardinal db cind.i_rhs >= t.c_threshold then begin
+                Telemetry.incr m_threshold_hits;
+                Step_overflow
+                  (Printf.sprintf "IND(%s): relation %s exceeds threshold T"
+                     cind.i_name cind.i_rhs)
+              end
+              else begin
+                Telemetry.incr m_ind_steps;
+                let tb =
+                  witness_tuple ~instantiated:t.c_instantiated t.c_pool rng
+                    t.c_schema cind ta
+                in
+                let db' = Template.add db cind.i_rhs tb in
+                (match t.c_index with
+                | Some wix when t.c_engine = `Naive -> index_note_add wix cind db' tb
+                | _ -> ());
+                t.c_pos <- (j + 1) mod n;
+                if t.c_engine = `Delta then begin
+                  (* candidates other than ta stay pending: the ones after
+                     the minimum may not have been fully evaluated *)
+                  t.c_pending.(j) := List.filter (fun c -> c != ta) candidates;
+                  note_insert t ~before:db ~after:db' cind.i_rhs tb
+                end;
+                Step_applied { db = db'; rel = cind.i_rhs; tuple = tb }
+              end
+        end
+      in
+      scan 0
+    end
+end
 
 (* --- full chase loops --- *)
 
 (* The terminal chase: apply FD and IND operations until fixpoint.  With
    [instantiated] set this is chase_I of Section 5.2 (bounded relations,
    constants for finite-domain fields). *)
-let run ?(instantiated = false) ?(indexed = true) ?budget ~config ~rng schema compiled db =
+let run ?(instantiated = false) ?(indexed = true) ?engine ?budget ~config ~rng schema
+    compiled db =
   Telemetry.incr m_runs;
+  let engine = resolve_engine engine in
   let budget = Guard.resolve budget in
   Telemetry.with_span "chase.run" @@ fun () ->
   let pool = Pool.make ~n:config.pool_size in
   let index = if indexed then Some (witness_index ()) else None in
+  let cursor =
+    Ind_cursor.create ?index ~engine ~instantiated ~threshold:config.threshold pool
+      schema compiled.cinds
+  in
+  (* Relations constrained by some CFD: the only ones whose tuples belong
+     on the FD worklists. *)
+  let cfd_rels = Hashtbl.create 8 in
+  List.iter (fun cfd -> Hashtbl.replace cfd_rels cfd.f_rel ()) compiled.cfds;
+  let fd_dirty = wl_create () in
+  (if engine = `Delta then
+     Hashtbl.iter
+       (fun rel () -> List.iter (wl_push fd_dirty rel) (Template.tuples db rel))
+       cfd_rels);
+  (* Every substitution feeds the FD worklists (rewritten tuples can form
+     new violating pairs) and the cursor (rewritten tuples can newly
+     trigger a CIND; the witness index is maintained from the delta). *)
+  let on_delta ~before ~after (d : Template.delta) =
+    if engine = `Delta then begin
+      List.iter
+        (fun (rel, t) -> if Hashtbl.mem cfd_rels rel then wl_push fd_dirty rel t)
+        d.Template.d_added;
+      Ind_cursor.note_subst cursor ~before ~after d
+    end
+  in
   (* config.max_steps is local fuel for the IND loop, replacing the bare
      step counter; each iteration also polls the shared budget's clock
      (chase steps are heavy, so a lazy poll would overshoot deadlines). *)
   let fuel = Guard.make ~fuel:config.max_steps () in
   let rec go db =
     Guard.check budget;
-    match fd_fixpoint ~budget ~max_steps:config.max_steps compiled.cfds db with
-    | Undefined why -> Undefined why
-    | Exhausted r -> Exhausted r
-    | Terminal db ->
-        let rec try_cinds = function
-          | [] -> Terminal db
-          | cind :: rest -> (
-              match
-                ind_step ?index ~instantiated ~threshold:config.threshold pool rng
-                  schema cind db
-              with
-              | Ind_changed db' ->
-                  Guard.tick fuel;
-                  go db'
-              | Ind_unchanged -> try_cinds rest
-              | Ind_overflow why -> Undefined why)
-        in
-        try_cinds compiled.cinds
+    match
+      fd_saturate ~engine ~budget ~max_steps:config.max_steps ~on_delta compiled.cfds
+        fd_dirty db
+    with
+    | Error why -> Undefined why
+    | Ok db -> (
+        match Ind_cursor.step ~budget cursor ~rng db with
+        | Ind_cursor.Step_none -> Terminal db
+        | Ind_cursor.Step_overflow why -> Undefined why
+        | Ind_cursor.Step_applied { db = db'; rel; tuple } ->
+            Guard.tick fuel;
+            if engine = `Delta && Hashtbl.mem cfd_rels rel then
+              wl_push fd_dirty rel tuple;
+            go db')
   in
   try
     Guard.probe ~budget "chase.run";
+    if engine = `Delta then Guard.probe ~budget "chase.delta";
     go db
   with Guard.Exhausted r ->
     Telemetry.incr m_budget_exceeded;

@@ -27,14 +27,14 @@ let m_sat_calls = Telemetry.counter "checking.cfd.sat_backend_calls" ~doc:"singl
 
 (* --- chase-based CFD_Checking on an arbitrary template --- *)
 
-let check_template ?budget ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
+let check_template ?budget ?engine ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
   Telemetry.incr m_calls;
   let budget = Guard.resolve budget in
   Guard.probe ~budget "checking.cfd";
   (* Local exhaustion of the fd-fixpoint's step fuel counts as a failed
      attempt (the heuristic gives up, as with K_CFD); exhaustion of the
      shared budget — or an injected fault — must surface to the caller. *)
-  match Chase.fd_fixpoint ~budget compiled_cfds db with
+  match Chase.fd_fixpoint ~budget ?engine compiled_cfds db with
   | Chase.Exhausted r when Guard.recoverable ~shared:budget r -> None
   | Chase.Exhausted r -> raise (Guard.Exhausted r)
   | Chase.Undefined _ -> None
@@ -68,7 +68,7 @@ let check_template ?budget ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
             else
               let () = Telemetry.incr m_kcfd_retries in
               let candidate = Chase.instantiate_finite_vars ~prefer ~avoid rng db in
-              match Chase.fd_fixpoint ~budget compiled_cfds candidate with
+              match Chase.fd_fixpoint ~budget ?engine compiled_cfds candidate with
               | Chase.Terminal done_db when Template.finite_variables done_db = [] ->
                   Some done_db
               | Chase.Terminal _ | Chase.Undefined _ -> attempts (k - 1)
@@ -80,9 +80,10 @@ let check_template ?budget ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
 
 (* Single-relation consistency via the chase backend: start from the
    single-tuple template τ(R). *)
-let consistent_rel_chase ?budget ?k_cfd ?avoid ~rng schema cfds ~rel =
+let consistent_rel_chase ?budget ?engine ?k_cfd ?avoid ~rng schema cfds ~rel =
   let compiled = List.map (Chase.compile_cfd schema) cfds in
-  check_template ?budget ?k_cfd ?avoid ~rng compiled (Chase.seed_tuple schema ~rel)
+  check_template ?budget ?engine ?k_cfd ?avoid ~rng compiled
+    (Chase.seed_tuple schema ~rel)
 
 (* --- SAT-based CFD_Checking --- *)
 
@@ -192,12 +193,12 @@ let consistent_rel_sat ?budget ?(avoid = []) schema cfds ~rel =
 
 (* Uniform front-end on the single-tuple problem: a satisfying template
    tuple, with finite-domain fields concrete, or None. *)
-let consistent_rel ?(backend = Chase_backend) ?budget ?avoid ?k_cfd ~rng schema cfds ~rel =
+let consistent_rel ?(backend = Chase_backend) ?budget ?engine ?avoid ?k_cfd ~rng schema cfds ~rel =
   match backend with
   | Chase_backend -> (
       Telemetry.incr m_chase_calls;
       let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
-      match consistent_rel_chase ?budget ?k_cfd ?avoid ~rng schema cfds ~rel with
+      match consistent_rel_chase ?budget ?engine ?k_cfd ?avoid ~rng schema cfds ~rel with
       | None -> None
       | Some db -> (
           match Template.tuples db rel with [ t ] -> Some t | _ -> assert false))

@@ -13,6 +13,7 @@ type backend =
 
 val check_template :
   ?budget:Guard.t ->
+  ?engine:Chase.engine ->
   ?k_cfd:int ->
   ?avoid:Value.t list ->
   rng:Rng.t ->
@@ -28,6 +29,7 @@ val check_template :
 
 val consistent_rel_chase :
   ?budget:Guard.t ->
+  ?engine:Chase.engine ->
   ?k_cfd:int ->
   ?avoid:Value.t list ->
   rng:Rng.t ->
@@ -48,6 +50,7 @@ val consistent_rel_sat :
 val consistent_rel :
   ?backend:backend ->
   ?budget:Guard.t ->
+  ?engine:Chase.engine ->
   ?avoid:Value.t list ->
   ?k_cfd:int ->
   rng:Rng.t ->

@@ -21,11 +21,11 @@ let m_components_tried = Telemetry.counter "checking.components_tried" ~doc:"wea
 
 (* One full pipeline (preProcessing + per-component RandomChecking) with a
    fixed backend. *)
-let pipeline ?backend ~budget ?config ?k ?k_cfd ~jobs ~rng schema
+let pipeline ?backend ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema
     (sigma : Sigma.nf) =
   try
     Guard.probe ~budget "checking.check";
-    match Preprocessing.run ?backend ~budget ?k_cfd ~rng schema sigma with
+    match Preprocessing.run ?backend ~budget ?engine ?k_cfd ~rng schema sigma with
     | Preprocessing.Consistent db -> Consistent db
     | Preprocessing.Inconsistent -> Inconsistent
     | Preprocessing.Unknown components ->
@@ -38,7 +38,7 @@ let pipeline ?backend ~budget ?config ?k ?k_cfd ~jobs ~rng schema
               Guard.check budget;
               Telemetry.incr m_components_tried;
               match
-                Random_checking.check ~budget ?config ?k ?k_cfd
+                Random_checking.check ~budget ?engine ?config ?k ?k_cfd
                   ~seed_rels:members ~jobs ~rng schema component_sigma
               with
               | Random_checking.Consistent db when Sigma.nf_holds db sigma ->
@@ -65,7 +65,7 @@ let pipeline ?backend ~budget ?config ?k ?k_cfd ~jobs ~rng schema
      if the SAT pipeline ends [Unknown].
    The two verdicts cannot contradict: a verified witness proves Σ
    consistent, which a sound SAT [Inconsistent] would refute. *)
-let check_race ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
+let check_race ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
   (* Fixed split order: chase first, SAT second. *)
   let rng_chase = Rng.split rng in
   let rng_sat = Rng.split rng in
@@ -74,8 +74,8 @@ let check_race ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
   let arm i backend rng tok =
     let child = Guard.child ~cancel:tok budget in
     let r =
-      pipeline ~backend ~budget:child ?config ?k ?k_cfd ~jobs:inner_jobs ~rng
-        schema sigma
+      pipeline ~backend ?engine ~budget:child ?config ?k ?k_cfd ~jobs:inner_jobs
+        ~rng schema sigma
     in
     recorded.(i) <- Some r;
     r
@@ -114,7 +114,7 @@ let check_race ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
           Unknown (match r1 with Guard.Fuel -> r2 | _ -> r1))
   | _ -> assert false
 
-let check ?backend ?budget ?config ?k ?k_cfd ?jobs ~rng schema
+let check ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ~rng schema
     (sigma : Sigma.nf) =
   Telemetry.incr m_calls;
   let budget = Guard.resolve budget in
@@ -125,8 +125,10 @@ let check ?backend ?budget ?config ?k ?k_cfd ?jobs ~rng schema
   let result =
     match backend with
     | None when jobs >= 2 ->
-        check_race ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma
-    | _ -> pipeline ?backend ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma
+        check_race ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma
+    | _ ->
+        pipeline ?backend ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema
+          sigma
   in
   (match result with
   | Consistent _ -> Telemetry.incr m_consistent

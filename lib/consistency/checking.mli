@@ -18,6 +18,7 @@ type result =
 val check :
   ?backend:Cfd_checking.backend ->
   ?budget:Guard.t ->
+  ?engine:Chase.engine ->
   ?config:Chase.config ->
   ?k:int ->
   ?k_cfd:int ->

@@ -17,6 +17,7 @@ type result =
 
 val check :
   ?budget:Guard.t ->
+  ?engine:Chase.engine ->
   ?config:Chase.config ->
   ?k:int ->
   ?k_cfd:int ->

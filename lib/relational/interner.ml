@@ -49,12 +49,19 @@ let lookup table id =
     v
   end
 
+let table_size table =
+  Mutex.lock table.mutex;
+  let n = table.size in
+  Mutex.unlock table.mutex;
+  n
+
 (* --- values --- *)
 
 let values = make_table ()
 
 let id (v : Value.t) = intern values (Value.Bool false) v
 let value i : Value.t = lookup values i
+let value_count () = table_size values
 
 (* --- symbols (relation / attribute names) --- *)
 
@@ -62,3 +69,4 @@ let symbols = make_table ()
 
 let symbol (s : string) = intern symbols "" s
 let symbol_name i = lookup symbols i
+let symbol_count () = table_size symbols

@@ -19,3 +19,10 @@ val symbol : string -> int
 
 val symbol_name : int -> string
 (** Resolve a symbol id.  @raise Invalid_argument on an unknown id. *)
+
+val value_count : unit -> int
+(** Number of distinct values interned so far — table size, suitable as a
+    telemetry gauge. *)
+
+val symbol_count : unit -> int
+(** Number of distinct symbols interned so far. *)

@@ -12,12 +12,22 @@ let m_solves = Telemetry.counter "sat.solve_calls" ~doc:"CNF instances handed to
 let m_decisions = Telemetry.counter "sat.decisions" ~doc:"branching decisions"
 let m_propagations = Telemetry.counter "sat.propagations" ~doc:"literals assigned by unit propagation"
 let m_conflicts = Telemetry.counter "sat.conflicts" ~doc:"clauses falsified during propagation"
-let m_restarts = Telemetry.counter "sat.restarts" ~doc:"always 0: the chronological solver never restarts; kept for comparability with CDCL-style accounting"
+let m_restarts = Telemetry.counter "sat.restarts" ~doc:"conflict-limited Luby restarts taken (window = restart_base * luby(i))"
 let m_sat = Telemetry.counter "sat.results_sat" ~doc:"instances decided satisfiable"
 let m_unsat = Telemetry.counter "sat.results_unsat" ~doc:"instances decided unsatisfiable"
 let m_unknown = Telemetry.counter "sat.results_unknown" ~doc:"instances left undecided: budget, conflict/decision limit or fault"
 
 exception Found_unsat
+exception Restart
+
+(* luby i: the i-th term (1-based) of the Luby restart sequence
+   1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... — the universally near-optimal
+   schedule for restarting Las Vegas searches. *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
 
 type state = {
   num_vars : int;
@@ -29,6 +39,7 @@ type state = {
   mutable qhead : int;
   score : int array; (* static occurrence counts per variable *)
   pos_occ : int array; (* positive-literal occurrences, for phase choice *)
+  saved : int array; (* phase saving: last value each variable held, 0 if never *)
 }
 
 let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
@@ -45,7 +56,9 @@ let push_assign st l =
 let backtrack_to st len =
   while st.trail_len > len do
     st.trail_len <- st.trail_len - 1;
-    st.assign.(abs st.trail.(st.trail_len)) <- 0
+    let v = abs st.trail.(st.trail_len) in
+    st.saved.(v) <- st.assign.(v);
+    st.assign.(v) <- 0
   done;
   st.qhead <- min st.qhead len
 
@@ -116,15 +129,20 @@ let pick_branch st =
   if !best = 0 then None
   else
     let v = !best in
-    (* Branch first on the polarity occurring more often. *)
-    Some (if 2 * st.pos_occ.(v) >= st.score.(v) then v else -v)
+    (* Saved phase first (so a restarted search resumes in familiar
+       territory); otherwise the polarity occurring more often. *)
+    Some
+      (match st.saved.(v) with
+      | 1 -> v
+      | -1 -> -v
+      | _ -> if 2 * st.pos_occ.(v) >= st.score.(v) then v else -v)
 
 (* Remove duplicate literals; detect tautological clauses (contain l and -l). *)
 let simplify_clause clause =
   let sorted = List.sort_uniq Int.compare clause in
   if List.exists (fun l -> List.mem (-l) sorted) sorted then None else Some sorted
 
-let solve_raw ~budget ~max_conflicts ~max_decisions cnf =
+let solve_raw ~budget ~max_conflicts ~max_decisions ~restart_base cnf =
   let num_vars = Cnf.num_vars cnf in
   let simplified = List.filter_map simplify_clause (Cnf.clauses cnf) in
   if List.exists (fun c -> c = []) simplified then Unsat
@@ -143,6 +161,7 @@ let solve_raw ~budget ~max_conflicts ~max_decisions cnf =
         qhead = 0;
         score = Array.make (num_vars + 1) 0;
         pos_occ = Array.make (num_vars + 1) 0;
+        saved = Array.make (num_vars + 1) 0;
       }
     in
     Array.iteri
@@ -164,9 +183,22 @@ let solve_raw ~budget ~max_conflicts ~max_decisions cnf =
           | 0 -> push_assign st l
           | _ -> ())
         units;
+      (* Root level: top-level units (their propagation re-derives below). *)
+      let root_len = st.trail_len in
       (* Decision stack: (trail length before the decision, literal, flipped). *)
       let dstack : (int * int * bool) Stack.t = Stack.create () in
       let conflicts = ref 0 and decisions = ref 0 in
+      (* Conflict-limited Luby restarts.  The window for restart i is
+         restart_base * luby(i); since the Luby sequence is unbounded and a
+         chronological DFS from any saved-phase state is finite, some
+         window eventually covers a complete search — termination is
+         preserved.  restart_base <= 0 disables restarts. *)
+      let restart_count = ref 0 and window_conflicts = ref 0 in
+      let window () =
+        if restart_base <= 0 then max_int
+        else restart_base * luby (!restart_count + 1)
+      in
+      let restart_limit = ref (window ()) in
       let rec search () =
         if propagate st then
           match pick_branch st with
@@ -186,9 +218,12 @@ let solve_raw ~budget ~max_conflicts ~max_decisions cnf =
               search ()
         else begin
           incr conflicts;
+          incr window_conflicts;
           if !conflicts > max_conflicts then raise (Guard.Exhausted Guard.Fuel);
           Guard.tick budget;
-          resolve_conflict ()
+          if !window_conflicts >= !restart_limit && not (Stack.is_empty dstack)
+          then raise Restart
+          else resolve_conflict ()
         end
       and resolve_conflict () =
         if Stack.is_empty dstack then raise Found_unsat
@@ -202,19 +237,30 @@ let solve_raw ~budget ~max_conflicts ~max_decisions cnf =
             search ()
           end
       in
-      search ()
+      let rec search_with_restarts () =
+        try search ()
+        with Restart ->
+          Telemetry.incr m_restarts;
+          incr restart_count;
+          window_conflicts := 0;
+          restart_limit := window ();
+          Stack.clear dstack;
+          backtrack_to st root_len;
+          search_with_restarts ()
+      in
+      search_with_restarts ()
     with Found_unsat -> Unsat
   end
 
-let solve ?budget ?(max_conflicts = max_int) ?(max_decisions = max_int) cnf =
-  ignore m_restarts;
+let solve ?budget ?(max_conflicts = max_int) ?(max_decisions = max_int)
+    ?(restart_base = 64) cnf =
   let budget = Guard.resolve budget in
   Telemetry.incr m_solves;
   Telemetry.with_span "sat.solve" @@ fun () ->
   let result =
     try
       Guard.probe ~budget "sat.solve";
-      solve_raw ~budget ~max_conflicts ~max_decisions cnf
+      solve_raw ~budget ~max_conflicts ~max_decisions ~restart_base cnf
     with Guard.Exhausted r -> Unknown r
   in
   (match result with

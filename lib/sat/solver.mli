@@ -6,7 +6,15 @@
     The solver is resource-governed: an optional {!Guard.t} budget plus
     conflict/decision limits bound the search, and the result is
     three-valued — under limits the solver degrades to [Unknown] with a
-    structured reason, never to a wrong [Sat]/[Unsat]. *)
+    structured reason, never to a wrong [Sat]/[Unsat].
+
+    The search takes conflict-limited restarts on the Luby schedule with
+    phase saving: restart i fires after [restart_base * luby(i)] conflicts
+    in the current window, backtracking to the root while each variable
+    remembers its last polarity.  Because the Luby windows grow without
+    bound and a chronological search from any phase assignment is finite,
+    restarts never compromise completeness: [Sat]/[Unsat] verdicts are
+    preserved for every [restart_base]. *)
 
 type result =
   | Sat of bool array  (** model indexed by variable; index 0 is unused *)
@@ -16,9 +24,16 @@ type result =
           ([Guard.Fuel]) or an armed fault probe *)
 
 val solve :
-  ?budget:Guard.t -> ?max_conflicts:int -> ?max_decisions:int -> Cnf.t -> result
+  ?budget:Guard.t ->
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  ?restart_base:int ->
+  Cnf.t ->
+  result
 (** [budget] defaults to the ambient budget; with no limits at all the
-    solver is complete and never answers [Unknown]. *)
+    solver is complete and never answers [Unknown].  [restart_base]
+    (default 64) scales the Luby restart windows; [restart_base <= 0]
+    disables restarts entirely (the pre-restart chronological search). *)
 
 val is_sat : ?budget:Guard.t -> Cnf.t -> bool
 (** The boolean view.  @raise Guard.Exhausted when the budget runs dry

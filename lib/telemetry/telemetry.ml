@@ -60,6 +60,21 @@ let add c n =
 
 let count c = Atomic.get c.c_count
 
+(* --- gauges -------------------------------------------------------------- *)
+
+(* Gauges are pull-based: a registered callback is sampled at snapshot /
+   flush time, never on a hot path.  This lets leaf libraries that cannot
+   depend on telemetry (e.g. the relational interner) be observed by
+   having the application register a closure over their size accessors. *)
+
+type gauge = { g_name : string; g_doc : string; g_read : unit -> int }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let register_gauge ?(doc = "") name read =
+  with_registry @@ fun () ->
+  Hashtbl.replace gauges name { g_name = name; g_doc = doc; g_read = read }
+
 (* --- histograms ---------------------------------------------------------- *)
 
 (* Fixed log-scale bucket upper bounds, in seconds: two buckets per decade
@@ -207,6 +222,13 @@ let counter_snapshot () =
   Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_count) :: acc) counters []
   |> by_name
 
+let gauge_snapshot () =
+  Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_read ()) :: acc) gauges []
+  |> by_name
+
+let gauge_docs () =
+  Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_doc) :: acc) gauges [] |> by_name
+
 let histogram_stats h =
   Mutex.lock h.h_mutex;
   let stats =
@@ -284,6 +306,10 @@ let rec flush_metrics () =
           Printf.fprintf oc "{\"ev\":\"counter\",\"name\":\"%s\",\"value\":%d}\n" (escape name) v)
         (counter_snapshot ());
       List.iter
+        (fun (name, v) ->
+          Printf.fprintf oc "{\"ev\":\"gauge\",\"name\":\"%s\",\"value\":%d}\n" (escape name) v)
+        (gauge_snapshot ());
+      List.iter
         (fun (name, hs) -> Printf.fprintf oc "%s\n" (histogram_line name hs))
         (histogram_snapshot ());
       Stdlib.flush oc
@@ -293,6 +319,11 @@ and pp_report ppf () =
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%-40s %d@," name v)
     (counter_snapshot ());
+  (match gauge_snapshot () with
+  | [] -> ()
+  | gs ->
+      Format.fprintf ppf "-- telemetry gauges@,";
+      List.iter (fun (name, v) -> Format.fprintf ppf "%-40s %d@," name v) gs);
   Format.fprintf ppf "-- telemetry histograms (durations)@,";
   List.iter
     (fun (name, hs) ->
@@ -306,6 +337,7 @@ and pp_report ppf () =
 
 type event =
   | Counter_event of { name : string; value : int }
+  | Gauge_event of { name : string; value : int }
   | Histogram_event of { name : string; stats : histogram_stats }
   | Span_event of { name : string; dur_s : float; depth : int; err : bool }
 
@@ -410,6 +442,10 @@ let parse_event line =
   | Some "counter" -> (
       match (string_field line "name", number_field line "value") with
       | Some name, Some v -> Some (Counter_event { name; value = int_of_float v })
+      | _ -> None)
+  | Some "gauge" -> (
+      match (string_field line "name", number_field line "value") with
+      | Some name, Some v -> Some (Gauge_event { name; value = int_of_float v })
       | _ -> None)
   | Some "span" -> (
       match (string_field line "name", number_field line "dur_s") with

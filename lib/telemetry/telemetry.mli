@@ -35,6 +35,23 @@ val add : counter -> int -> unit
 
 val count : counter -> int
 
+(** {1 Gauges}
+
+    Pull-based point-in-time values: a registered callback is sampled at
+    snapshot/flush time, never on a hot path.  This lets leaf libraries
+    that cannot depend on telemetry (e.g. the relational interner) be
+    observed — the application registers a closure over their size
+    accessors (cf. [cindtool]'s interner gauges). *)
+
+val register_gauge : ?doc:string -> string -> (unit -> int) -> unit
+(** [register_gauge name read] registers (or replaces) the gauge [name];
+    [read] must be cheap and total. *)
+
+val gauge_snapshot : unit -> (string * int) list
+(** Sample every registered gauge, sorted by name. *)
+
+val gauge_docs : unit -> (string * string) list
+
 (** {1 Duration histograms} *)
 
 type histogram
@@ -102,6 +119,7 @@ val json_of_counters : ?label:string * string -> (string * int) list -> string
 
 type event =
   | Counter_event of { name : string; value : int }
+  | Gauge_event of { name : string; value : int }
   | Histogram_event of { name : string; stats : histogram_stats }
   | Span_event of { name : string; dur_s : float; depth : int; err : bool }
 

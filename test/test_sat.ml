@@ -41,6 +41,36 @@ let test_pigeonhole_3_2 () =
   in
   check_bool "PHP(3,2) unsat" false (solve_is_sat (Cnf.make ~num_vars:6 clauses))
 
+let test_restarts_fire_and_preserve_unsat () =
+  (* PHP(4,3) with restart_base:1 — the most aggressive Luby schedule —
+     must still conclude Unsat, and must actually take restarts along the
+     way (observable on the sat.restarts counter). *)
+  let v i j = (3 * i) + j + 1 in
+  let pigeons = [ 0; 1; 2; 3 ] and holes = [ 0; 1; 2 ] in
+  let clauses =
+    List.map (fun i -> List.map (fun j -> v i j) holes) pigeons
+    @ List.concat_map
+        (fun j ->
+          List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun i' -> if i' > i then Some [ -v i j; -v i' j ] else None)
+                pigeons)
+            pigeons)
+        holes
+  in
+  let cnf = Cnf.make ~num_vars:12 clauses in
+  let restarts = Telemetry.counter "sat.restarts" in
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable @@ fun () ->
+  let before = Telemetry.count restarts in
+  (match Solver.solve ~restart_base:1 cnf with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "PHP(4,3) decided Sat under restarts"
+  | Solver.Unknown r ->
+      Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r));
+  check_bool "restarts were taken" true (Telemetry.count restarts > before)
+
 let test_duplicate_and_tautological_literals () =
   check_bool "duplicate literals" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1; 1 ] ]));
   check_bool "tautology" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1; -1 ]; [ -1 ] ]))
@@ -104,6 +134,22 @@ let prop_sat_models_check (num_vars, clauses) =
   | Solver.Unsat -> true
   | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
 
+(* Restarts must never flip a verdict: compare the most aggressive Luby
+   schedule against the restart-free search, and validate Sat models. *)
+let prop_restarts_preserve_verdict (num_vars, clauses) =
+  let cnf = Cnf.make ~num_vars clauses in
+  let verdict ~restart_base =
+    match Solver.solve ~restart_base cnf with
+    | Solver.Sat model ->
+        if not (Cnf.eval model cnf) then
+          Alcotest.failf "invalid model (restart_base=%d)" restart_base;
+        true
+    | Solver.Unsat -> false
+    | Solver.Unknown r ->
+        Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
+  in
+  verdict ~restart_base:1 = verdict ~restart_base:0
+
 let () =
   Alcotest.run "sat"
     [
@@ -113,6 +159,8 @@ let () =
           Alcotest.test_case "models are valid" `Quick test_model_is_valid;
           Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
           Alcotest.test_case "pigeonhole 3-2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "Luby restarts fire and preserve Unsat" `Quick
+            test_restarts_fire_and_preserve_unsat;
           Alcotest.test_case "duplicate/tautological literals" `Quick
             test_duplicate_and_tautological_literals;
         ] );
@@ -128,5 +176,7 @@ let () =
             prop_matches_brute_force;
           qtest ~count:500 "returned models satisfy the formula" random_cnf
             prop_sat_models_check;
+          qtest ~count:500 "restarts preserve Sat/Unsat" random_cnf
+            prop_restarts_preserve_verdict;
         ] );
     ]
