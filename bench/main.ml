@@ -62,6 +62,20 @@ let () =
         | _ ->
             Fmt.epr "--jobs expects a positive domain count, got %S@." n;
             exit 2)
+    | [ "--profile" ] ->
+        Fmt.epr "--profile needs an argument (FILE.json | FILE.folded)@.";
+        exit 2
+    | "--profile" :: path :: rest ->
+        (* whole-harness profiling: Chrome trace (.json) or folded stacks
+           (.folded) written at exit; sections that reset the profile tree
+           (micro's per-phase breakdown) leave the trace buffers intact *)
+        Telemetry.enable_profiling ();
+        at_exit (fun () ->
+            let oc = open_out path in
+            if Filename.check_suffix path ".folded" then Telemetry.write_folded oc
+            else Telemetry.write_chrome_trace oc;
+            close_out oc);
+        strip_opts rest
     | [ "--chase-engine" ] ->
         Fmt.epr "--chase-engine needs an argument (delta|naive)@.";
         exit 2

@@ -284,6 +284,76 @@ let parallel_section () =
   Util.row "wrote BENCH_parallel.json (recommended_domain_count=%d)@."
     (Stdlib.Domain.recommended_domain_count ())
 
+(* --- per-phase profile breakdown (BENCH_profile.json) ------------------------
+
+   The needle RandomChecking workload of [parallel_section], run under the
+   profiler at jobs 1 and 4: a per-span (calls, total, self) breakdown per
+   jobs count, the artifact that tells the parallel-batching and CDCL work
+   where the 0.42x fan-out actually goes (task bodies vs pool waits vs
+   preprocessing).  Coverage is the profiled self-time sum over wall
+   clock; above 1.0 under --jobs it reads as average active domains. *)
+
+let profile_section () =
+  Util.header "Per-phase profile: needle at jobs 1 vs 4 (BENCH_profile.json)";
+  let schema, sigma = needle_workload ~seed:3 ~relations:8 ~cinds:20 in
+  let k = 96 in
+  let was_profiling = Telemetry.profiling () in
+  Telemetry.enable_profiling ();
+  let runs =
+    List.map
+      (fun jobs ->
+        (* fresh attribution per jobs count; trace buffers (a --profile
+           whole-run trace) are deliberately untouched *)
+        Telemetry.profile_reset ();
+        let _, wall =
+          Util.time (fun () ->
+              Telemetry.with_span "bench.needle" (fun () ->
+                  Random_checking.check ~jobs ~k ~k_cfd:40 ~rng:(Rng.make 7)
+                    schema sigma))
+        in
+        let phases = Telemetry.self_time_table () in
+        let sum_self =
+          List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. phases
+        in
+        (jobs, wall, (if wall > 0. then sum_self /. wall else Float.nan), phases))
+      [ 1; 4 ]
+  in
+  if not was_profiling then Telemetry.disable_profiling ();
+  Util.row "%-10s %-12s %-10s %s@." "jobs" "wall(s)" "coverage" "top spans (self)";
+  List.iter
+    (fun (jobs, wall, coverage, phases) ->
+      let top =
+        List.filteri (fun i _ -> i < 3) phases
+        |> List.map (fun (name, _, _, self) ->
+               Printf.sprintf "%s=%s" name (Telemetry.dur_to_string self))
+        |> String.concat " "
+      in
+      Util.row "%-10d %-12.4f %-10.2f %s@." jobs wall coverage top)
+    runs;
+  let oc = open_out "BENCH_profile.json" in
+  let j = Printf.fprintf in
+  j oc "{\n";
+  j oc "  \"workload\": \"needle seed=3 relations=8 cinds=20 k=%d k_cfd=40\",\n" k;
+  j oc "  \"jobs\": [\n";
+  List.iteri
+    (fun i (jobs, wall, coverage, phases) ->
+      j oc "    {\"jobs\": %d, \"wall_s\": %.6f, \"coverage\": %.4f, \"phases\": [\n"
+        jobs wall coverage;
+      List.iteri
+        (fun pi (name, calls, total, self) ->
+          j oc
+            "      {\"span\": %S, \"calls\": %d, \"total_s\": %.6f, \"self_s\": \
+             %.6f}%s\n"
+            name calls total self
+            (if pi = List.length phases - 1 then "" else ","))
+        phases;
+      j oc "    ]}%s\n" (if i = List.length runs - 1 then "" else ","))
+    runs;
+  j oc "  ]\n";
+  j oc "}\n";
+  close_out oc;
+  Util.row "wrote BENCH_profile.json@."
+
 (* --- delta-driven chase micro section ----------------------------------------
 
    Naive vs delta fixpoint engine on the copy micro, N-sweep, written to
@@ -396,6 +466,7 @@ let chase_section () =
 let run () =
   chase_section ();
   parallel_section ();
+  profile_section ();
   Util.header "Bechamel micro-benchmarks (one per table/figure)";
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]

@@ -49,6 +49,55 @@ let exits =
          exhaustion reason is printed on stderr.";
   ]
 
+(* Flat self-time attribution, biggest first, with per-span latency
+   quantiles estimated from the span histograms. *)
+let pp_profile_table ppf =
+  let table = Telemetry.self_time_table () in
+  let hists = Telemetry.histogram_snapshot () in
+  let total_self = List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. table in
+  Fmt.pf ppf "@[<v>-- profile (by self time)@,";
+  Fmt.pf ppf "%-34s %8s %10s %10s %6s %10s %10s %10s@," "span" "calls" "total"
+    "self" "self%" "p50" "p90" "p99";
+  List.iter
+    (fun (name, calls, total, self) ->
+      let q p =
+        match List.assoc_opt name hists with
+        | Some hs -> Telemetry.dur_to_string (Telemetry.quantile hs p)
+        | None -> "n/a"
+      in
+      Fmt.pf ppf "%-34s %8d %10s %10s %5.1f%% %10s %10s %10s@," name calls
+        (Telemetry.dur_to_string total)
+        (Telemetry.dur_to_string self)
+        (100. *. self /. Float.max total_self 1e-12)
+        (q 0.5) (q 0.9) (q 0.99))
+    table;
+  Fmt.pf ppf "@]@."
+
+(* Budget-exhaustion forensics: where was the process when the budget ran
+   out, and who ate it.  Printed on stderr next to the exit-3 diagnostic
+   whenever profiling is on. *)
+let print_exhaustion_forensics () =
+  if Telemetry.profiling () then begin
+    (match Telemetry.exhaustion_snapshot () with
+    | Some (reason, stack) ->
+        Fmt.epr "cindtool: exhausted (%s) inside: %s@." reason
+          (match stack with
+          | [] -> "(no live span)"
+          | st -> String.concat " < " st)
+    | None -> ());
+    match Telemetry.self_time_table () with
+    | [] -> ()
+    | table ->
+        Fmt.epr "cindtool: top spans by self time:@.";
+        List.iteri
+          (fun i (name, calls, total, self) ->
+            if i < 3 then
+              Fmt.epr "  %-34s calls=%-6d total=%s self=%s@." name calls
+                (Telemetry.dur_to_string total)
+                (Telemetry.dur_to_string self))
+          table
+  end
+
 let load path =
   match Parser.parse_file path with
   | Ok doc -> doc
@@ -133,6 +182,7 @@ let check_run path seed k backend =
   | Conddep_consistency.Checking.Unknown r ->
       Fmt.pr "unknown — search cut short: %s@." (Guard.reason_to_string r);
       Fmt.epr "cindtool: resource budget exhausted (%s)@." (Guard.reason_to_string r);
+      print_exhaustion_forensics ();
       exit_undetermined
 
 let check_term = Term.(const check_run $ file_arg $ seed_arg $ k_arg $ backend_arg)
@@ -258,6 +308,7 @@ let implies_cmd =
                   (Guard.reason_to_string r);
                 Fmt.epr "cindtool: resource budget exhausted (%s)@."
                   (Guard.reason_to_string r);
+                print_exhaustion_forensics ();
                 max code exit_undetermined)
           exit_ok goals
   in
@@ -505,9 +556,13 @@ let stats_cmd =
         Fmt.pr "@,-- histograms (durations)@,";
         List.iter
           (fun (name, (hs : Telemetry.histogram_stats)) ->
-            Fmt.pr "%-44s count=%-8d sum=%.6fs mean=%.6fs@," name hs.Telemetry.hs_count
-              hs.hs_sum
-              (if hs.hs_count = 0 then 0. else hs.hs_sum /. float_of_int hs.hs_count))
+            Fmt.pr
+              "%-44s count=%-8d sum=%.6fs mean=%.6fs p50=%s p90=%s p99=%s@,"
+              name hs.Telemetry.hs_count hs.hs_sum
+              (if hs.hs_count = 0 then 0. else hs.hs_sum /. float_of_int hs.hs_count)
+              (Telemetry.dur_to_string (Telemetry.quantile hs 0.5))
+              (Telemetry.dur_to_string (Telemetry.quantile hs 0.9))
+              (Telemetry.dur_to_string (Telemetry.quantile hs 0.99)))
           (sorted hists);
         if Hashtbl.length spans > 0 then begin
           Fmt.pr "@,-- spans@,";
@@ -531,6 +586,28 @@ let stats_cmd =
           & pos 0 (some file) None
           & info [] ~docv:"METRICS" ~doc:"JSON-lines metrics file."))
 
+(* --- profile ------------------------------------------------------------------ *)
+
+(* `cindtool profile CMD ...` is intercepted before cmdliner dispatch (the
+   wrapped command keeps its own positional grammar); this stub exists so
+   the subcommand shows up in --help and `cindtool profile` alone gets a
+   usage error instead of "unknown command". *)
+let profile_stub_cmd =
+  let run () =
+    Fmt.epr
+      "cindtool: profile expects a subcommand to run, e.g. `cindtool \
+       profile check-consistency FILE`@.";
+    exit_usage
+  in
+  Cmd.v
+    (Cmd.info "profile" ~exits
+       ~doc:
+         "Run any other subcommand under the profiler and print a self-time \
+          table (with p50/p90/p99 per span) on stderr at exit, e.g. \
+          $(b,cindtool profile check-consistency FILE).  Combine with \
+          $(b,--profile) $(i,FILE) to also export the trace.")
+    Term.(const run $ const ())
+
 (* --- global flags ------------------------------------------------------------ *)
 
 (* --trace / --metrics FILE / --timeout SECS / --fuel N are global: they may
@@ -543,11 +620,19 @@ type globals = {
   g_rest : string list;
   g_trace : bool;
   g_metrics : string option;
+  g_profile : string option;
   g_timeout : float option;
   g_fuel : int option;
   g_jobs : int option;
   g_engine : Conddep_chase.Chase.engine option;
 }
+
+(* The global --profile takes an output FILE whose extension picks the
+   format (.json = Chrome trace, .folded = flamegraph stacks).  Claiming
+   only those extensions also keeps it from shadowing `gen`'s own
+   --profile PROFILE workload-family option. *)
+let profile_file s =
+  Filename.check_suffix s ".json" || Filename.check_suffix s ".folded"
 
 let extract_globals argv =
   let split_eq prefix arg =
@@ -581,6 +666,8 @@ let extract_globals argv =
   let rec go g = function
     | [] -> Ok { g with g_rest = List.rev g.g_rest }
     | "--trace" :: rest -> go { g with g_trace = true } rest
+    | "--profile" :: path :: rest when profile_file path ->
+        go { g with g_profile = Some path } rest
     | [ "--metrics" ] -> Error "option --metrics needs an argument"
     | "--metrics" :: path :: rest -> go { g with g_metrics = Some path } rest
     | [ "--timeout" ] -> Error "option --timeout needs an argument"
@@ -606,6 +693,11 @@ let extract_globals argv =
     | arg :: rest -> (
         match split_eq "--metrics=" arg with
         | Some path -> go { g with g_metrics = Some path } rest
+        | None
+          when match split_eq "--profile=" arg with
+               | Some path -> profile_file path
+               | None -> false ->
+            go { g with g_profile = split_eq "--profile=" arg } rest
         | None -> (
             match split_eq "--timeout=" arg with
             | Some secs -> (
@@ -637,6 +729,7 @@ let extract_globals argv =
       g_rest = [];
       g_trace = false;
       g_metrics = None;
+      g_profile = None;
       g_timeout = None;
       g_fuel = None;
       g_jobs = None;
@@ -654,6 +747,16 @@ let setup_telemetry ~trace ~metrics =
   Telemetry.register_gauge "interner.symbols"
     ~doc:"distinct relation/attribute symbols interned"
     Interner.symbol_count;
+  (* Store doublings: a counter, plus an instant marker on the growing
+     domain's trace track when profiling (the copy-under-mutex hiccup is
+     otherwise invisible). *)
+  let m_growths =
+    Telemetry.counter "interner.growths"
+      ~doc:"interner store doublings (whole-table copies under the mutex)"
+  in
+  Interner.set_growth_hook (fun tname cap ->
+      Telemetry.incr m_growths;
+      Telemetry.instant (Printf.sprintf "interner.%s.grow:%d" tname cap));
   (match metrics with
   | Some path ->
       let oc = open_out path in
@@ -664,6 +767,22 @@ let setup_telemetry ~trace ~metrics =
           close_out oc)
   | None -> if trace then Telemetry.set_sink (Telemetry.Pretty Fmt.stderr));
   if trace then at_exit (fun () -> Telemetry.pp_report Fmt.stderr ())
+
+let setup_profiling ~profile ~table =
+  if profile <> None || table then begin
+    Telemetry.enable_profiling ();
+    (* at_exit: registered after setup_telemetry's metrics flush, so these
+       run first — the trace is written before the sink closes. *)
+    (match profile with
+    | Some path ->
+        at_exit (fun () ->
+            let oc = open_out path in
+            if Filename.check_suffix path ".folded" then Telemetry.write_folded oc
+            else Telemetry.write_chrome_trace oc;
+            close_out oc)
+    | None -> ());
+    if table then at_exit (fun () -> pp_profile_table Fmt.stderr)
+  end
 
 let setup_guard ~timeout ~fuel =
   if timeout <> None || fuel <> None then
@@ -721,6 +840,15 @@ let () =
          Verdicts, witnesses and exit codes are identical to $(b,--jobs 1) \
          for a fixed seed; only wall-clock time changes.";
       `P
+        "$(b,--profile) $(i,FILE) (anywhere on the command line) enables the \
+         profiler and writes $(i,FILE) at exit: with a $(b,.json) extension, \
+         a Chrome Trace Event file (open in chrome://tracing or Perfetto; \
+         one track per worker domain under $(b,--jobs)); with $(b,.folded), \
+         folded stacks for $(b,flamegraph.pl)/$(b,inferno).  The extension \
+         is required — it selects the format (and keeps the flag distinct \
+         from $(b,gen)'s own $(b,--profile) option).  See also the \
+         $(b,profile) subcommand, which prints a self-time table instead.";
+      `P
         "$(b,--chase-engine) $(i,ENGINE) (anywhere on the command line) \
          selects the chase fixpoint engine: $(b,delta) (default) drains \
          dirty-tuple worklists and re-checks only dependencies whose \
@@ -740,7 +868,15 @@ let () =
       Fmt.epr "cindtool: %s@." msg;
       exit exit_usage
   | Ok g ->
+      (* `profile CMD ...` wraps CMD under the profiler with a self-time
+         table at exit; a bare `profile` falls through to the stub. *)
+      let g, profile_table =
+        match g.g_rest with
+        | "profile" :: (_ :: _ as rest) -> ({ g with g_rest = rest }, true)
+        | _ -> (g, false)
+      in
       setup_telemetry ~trace:g.g_trace ~metrics:g.g_metrics;
+      setup_profiling ~profile:g.g_profile ~table:profile_table;
       setup_guard ~timeout:g.g_timeout ~fuel:g.g_fuel;
       setup_jobs ~jobs:g.g_jobs;
       setup_engine ~engine:g.g_engine;
@@ -760,16 +896,22 @@ let () =
             witness_cmd;
             gen_cmd;
             stats_cmd;
+            profile_stub_cmd;
           ]
       in
       (* No OCaml exception escapes: budget exhaustion anywhere in an engine
          is exit 3 with the structured reason on stderr; anything else is an
          internal error, exit 2. *)
       let code =
-        try Cmd.eval' ~catch:false ~argv group with
+        (* The root span makes the profile tree account for the whole
+           dispatch (parse + subcommand), so self times cover the run's
+           wall clock rather than just the instrumented subtrees. *)
+        try Telemetry.with_span "cindtool.main" (fun () -> Cmd.eval' ~catch:false ~argv group)
+        with
         | Guard.Exhausted r ->
             Fmt.epr "cindtool: resource budget exhausted (%s)@."
               (Guard.reason_to_string r);
+            print_exhaustion_forensics ();
             exit_undetermined
         | e ->
             Fmt.epr "cindtool: internal error: %s@." (Printexc.to_string e);

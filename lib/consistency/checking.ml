@@ -80,9 +80,19 @@ let check_race ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
     recorded.(i) <- Some r;
     r
   in
+  (* Only results the merge below reports *regardless of the sibling* may
+     cancel it: the chase witness (always preferred) and a SAT
+     [Inconsistent] (definitive, and a chase witness cannot contradict
+     it).  A SAT witness must NOT cancel the chase arm: the merge prefers
+     the chase witness when both pipelines produce one, so cancelling
+     chase would make the reported witness depend on which arm finished
+     first — jobs-count determinism requires waiting the chase arm out
+     and falling back to the SAT witness only when chase ends otherwise
+     (that fallback is deterministic too: chase's own outcome does not
+     depend on the race). *)
   let definitive i =
     match recorded.(i) with
-    | Some (Consistent _) -> true
+    | Some (Consistent _) -> i = 0
     | Some Inconsistent -> i = 1 (* SAT only; chase Inconsistent is provisional *)
     | _ -> false
   in

@@ -26,6 +26,7 @@ type t = {
 }
 
 let make schema (sigma : Sigma.nf) =
+  Telemetry.with_span "checking.depgraph.build" @@ fun () ->
   let cfds = Hashtbl.create 16 in
   let rels = List.map sym (Db_schema.rel_names schema) in
   List.iter
@@ -105,6 +106,7 @@ let edges t = List.map (fun (s, d) -> (name s, name d)) (edges_id t)
    processing order Fig 7 wants (Rj precedes Ri when there is an edge
    Ri -> Rj; vertices on a cycle in arbitrary order). *)
 let sccs t =
+  Telemetry.with_span "checking.depgraph.sccs" @@ fun () ->
   let index = Hashtbl.create 16 in
   let lowlink = Hashtbl.create 16 in
   let on_stack = Hashtbl.create 16 in

@@ -92,6 +92,7 @@ let violates_goal goal t1 t2 =
   | _, _ -> false
 
 let implies ?budget ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
+  Telemetry.with_span "cfd_implication.implies" @@ fun () ->
   let budget = Guard.resolve budget in
   Guard.probe ~budget "cfd_implication.implies";
   let rel_schema = Db_schema.find schema phi.Cfd.nf_rel in

@@ -247,6 +247,7 @@ let counterexample_from schema compiled psi ~budget ~max_states (start, xvals) =
   State_tbl.mem alive start
 
 let implies ?budget ?(max_states = 50_000) schema ~sigma psi =
+  Telemetry.with_span "implication.implies" @@ fun () ->
   let budget = Guard.resolve budget in
   Guard.probe ~budget "implication.implies";
   let sigma = List.map Cind.canon_nf sigma in

@@ -147,6 +147,12 @@ let exhaust b reason =
   | Memory -> Telemetry.incr m_memory
   | Cancelled -> Telemetry.incr m_cancelled
   | Fault _ -> Telemetry.incr m_faults);
+  (* Forensics: a fresh (non-sticky) exhaustion is the moment the budget
+     actually ran out — snapshot the live span stack for the profiler.
+     Cancellation is a racing loser being told to stop, not a cost story. *)
+  (match reason with
+  | Cancelled -> ()
+  | _ -> Telemetry.mark_exhaustion (reason_to_string reason));
   raise (Exhausted reason)
 
 (* A child inheriting its parent's exhaustion: sticky locally, but not
@@ -311,6 +317,7 @@ let probe ?budget site =
   | None -> ()
   | Some Raise ->
       Telemetry.incr m_faults;
+      Telemetry.mark_exhaustion ("fault:" ^ site);
       raise (Exhausted (Fault site))
   | Some (Stall s) ->
       Telemetry.incr m_stalls;

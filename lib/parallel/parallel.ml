@@ -58,12 +58,20 @@ type pool = {
    flight when shutdown begins still completes rather than hanging its
    joiner. *)
 let rec worker pool =
-  Mutex.lock pool.mutex;
-  while Queue.is_empty pool.queue && not pool.stopped do
-    Condition.wait pool.nonempty pool.mutex
-  done;
-  let task = Queue.take_opt pool.queue in
-  Mutex.unlock pool.mutex;
+  (* The idle wait is a span of its own: in a trace it shows each worker
+     track alternating wait/run, which is exactly the fan-out efficiency
+     picture BENCH_parallel.json cannot show.  The span body ends after
+     the pool mutex is released, so sink emission never runs under it. *)
+  let task =
+    Telemetry.with_span "parallel.worker.wait" (fun () ->
+        Mutex.lock pool.mutex;
+        while Queue.is_empty pool.queue && not pool.stopped do
+          Condition.wait pool.nonempty pool.mutex
+        done;
+        let task = Queue.take_opt pool.queue in
+        Mutex.unlock pool.mutex;
+        task)
+  in
   match task with
   | None -> () (* stopped and drained *)
   | Some t ->
@@ -129,7 +137,8 @@ let exec_units pool units =
     let amb = Guard.ambient () in
     let wrap u () =
       Telemetry.incr m_tasks;
-      try Guard.with_ambient amb u with _ -> ()
+      Telemetry.with_span "parallel.task.run" (fun () ->
+          try Guard.with_ambient amb u with _ -> ())
     in
     if pool.domains = [] then Array.iter (fun u -> wrap u ()) units
     else begin
@@ -158,14 +167,15 @@ let exec_units pool units =
         Mutex.unlock pool.mutex;
         match task with
         | Some t ->
-            t ();
+            Telemetry.with_span "parallel.task.steal" t;
             help ()
         | None ->
-            Mutex.lock batch_mutex;
-            while !remaining > 0 do
-              Condition.wait batch_done batch_mutex
-            done;
-            Mutex.unlock batch_mutex
+            Telemetry.with_span "parallel.join.wait" (fun () ->
+                Mutex.lock batch_mutex;
+                while !remaining > 0 do
+                  Condition.wait batch_done batch_mutex
+                done;
+                Mutex.unlock batch_mutex)
       in
       help ()
     end

@@ -26,3 +26,11 @@ val value_count : unit -> int
 
 val symbol_count : unit -> int
 (** Number of distinct symbols interned so far. *)
+
+val set_growth_hook : (string -> int -> unit) -> unit
+(** [set_growth_hook f] installs [f table_name new_capacity], called each
+    time a table's backing store doubles.  The hook runs outside the table
+    mutex (it may intern or look up without deadlocking) but must be
+    domain-safe.  This library is a dependency leaf, so telemetry is
+    attached here by the application (cf. [cindtool]'s
+    [interner.growths] counter and growth instants). *)

@@ -1,8 +1,10 @@
 (* Process-wide telemetry: monotonic counters, duration histograms with
-   fixed log-scale buckets, and nested span tracing, feeding a pluggable
+   fixed log-scale buckets, nested span tracing, and an optional profiler
+   (hierarchical span attribution + trace export), feeding a pluggable
    sink (no-op, stderr pretty-printer, JSON-lines writer).
 
-   Design constraints (see DESIGN.md, "Observability"):
+   Design constraints (see DESIGN.md, "Observability" and "Profiling &
+   trace export"):
    - near-zero overhead when disabled: every record site is guarded by the
      single [enabled] flag, and the disabled path allocates nothing —
      counters and histograms are created once at module-initialisation
@@ -14,19 +16,29 @@
    - domain-safe: record sites fire from worker domains of the parallel
      execution engine.  Counters are [Atomic] (the disabled path is still
      a load and a test); histograms take a per-histogram mutex only when
-     enabled; span depth is domain-local; sink emission is serialized so
-     lines never interleave;
+     enabled; span depth and the profiler's frame stack are domain-local;
+     sink emission is serialized so lines never interleave; trace events
+     go to per-domain buffers (no lock on the append path) and the merged
+     profile tree is mutated under one mutex, once per completed span;
    - metric keys follow [subsystem.event] (dots separate levels,
      snake_case within a level), e.g. [sat.decisions],
      [checking.cfd.kcfd_retries]. *)
 
-(* --- global switch ------------------------------------------------------- *)
+(* --- global switches ------------------------------------------------------ *)
 
 let enabled_flag = ref false
 
 let enabled () = !enabled_flag
 let enable () = enabled_flag := true
 let disable () = enabled_flag := false
+
+(* Profiling is a second, heavier tier on top of [enabled]: spans
+   additionally feed the profile tree and the per-domain trace buffers.
+   It implies [enabled] (a profiler without span events is useless) but
+   not the other way round — [--trace]/[--metrics] keep their old cost. *)
+let profiling_flag = ref false
+
+let profiling () = !profiling_flag
 
 (* --- counters ------------------------------------------------------------ *)
 
@@ -164,8 +176,12 @@ let depth () = Domain.DLS.get depth_key
 let span_depth () = !(depth ())
 
 (* One emit at a time: concurrent spans from worker domains must not
-   interleave bytes within a line. *)
+   interleave bytes within a line.  Every span line additionally carries
+   the emitting domain's id ([tid]) so a reader can reconstruct one stack
+   per domain — depth alone is ambiguous once pool workers emit. *)
 let emit_mutex = Mutex.create ()
+
+let self_tid () = (Domain.self () :> int)
 
 let emit_span name dur err =
   let d = !(depth ()) in
@@ -182,8 +198,8 @@ let emit_span name dur err =
   | Jsonl oc ->
       Mutex.lock emit_mutex;
       Printf.fprintf oc
-        "{\"ev\":\"span\",\"name\":\"%s\",\"dur_s\":%.9f,\"depth\":%d%s}\n"
-        (escape name) dur d
+        "{\"ev\":\"span\",\"name\":\"%s\",\"dur_s\":%.9f,\"depth\":%d,\"tid\":%d%s}\n"
+        (escape name) dur d (self_tid ())
         (if err then ",\"err\":true" else "");
       Mutex.unlock emit_mutex
 
@@ -191,9 +207,167 @@ let record_span name dur err =
   observe (histogram name) dur;
   emit_span name dur err
 
+(* --- profiler: trace event buffers ---------------------------------------- *)
+
+(* Completed (and begun) spans are kept as begin/end events for the Chrome
+   Trace Event export, one buffer per domain: the append path is entirely
+   domain-local (no lock, no contention with other domains), and buffers
+   outlive their domains so pool workers' tracks survive the join.  The
+   per-domain cap bounds memory on runaway runs; drops are counted, never
+   silent. *)
+
+type trace_event = {
+  te_name : string;
+  te_ph : char; (* 'B' begin | 'E' end | 'i' instant *)
+  te_ts : float; (* absolute Unix time, seconds *)
+  te_tid : int; (* emitting domain's id *)
+  te_err : bool;
+}
+
+let trace_cap = 1_000_000
+
+let m_dropped =
+  (* created eagerly so the drop path never takes the registry mutex *)
+  counter "profile.events_dropped"
+    ~doc:"trace events discarded by the per-domain buffer cap"
+
+type tbuf = {
+  tb_tid : int;
+  mutable tb_evs : trace_event array;
+  mutable tb_len : int;
+}
+
+let dummy_event = { te_name = ""; te_ph = 'B'; te_ts = 0.; te_tid = 0; te_err = false }
+
+(* All buffers ever created, oldest last; guarded by the registry mutex
+   (registration is once per domain, export happens on quiesced runs). *)
+let trace_bufs : tbuf list ref = ref []
+
+let tbuf_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { tb_tid = self_tid (); tb_evs = [||]; tb_len = 0 } in
+      with_registry (fun () -> trace_bufs := b :: !trace_bufs);
+      b)
+
+let push_event b ev =
+  if b.tb_len >= trace_cap then incr m_dropped
+  else begin
+    if b.tb_len >= Array.length b.tb_evs then begin
+      let cap = max 256 (2 * Array.length b.tb_evs) in
+      let grown = Array.make cap dummy_event in
+      Array.blit b.tb_evs 0 grown 0 b.tb_len;
+      b.tb_evs <- grown
+    end;
+    b.tb_evs.(b.tb_len) <- ev;
+    b.tb_len <- b.tb_len + 1
+  end
+
+let instant name =
+  if !profiling_flag then
+    push_event (Domain.DLS.get tbuf_key)
+      {
+        te_name = name;
+        te_ph = 'i';
+        te_ts = Unix.gettimeofday ();
+        te_tid = self_tid ();
+        te_err = false;
+      }
+
+let trace_events () =
+  let bufs = with_registry (fun () -> !trace_bufs) in
+  List.concat_map
+    (fun b -> List.init b.tb_len (fun i -> b.tb_evs.(i)))
+    (List.rev bufs)
+
+(* --- profiler: span-tree attribution --------------------------------------- *)
+
+(* Live frames, innermost first, per domain.  A frame accumulates the
+   inclusive wall time of its direct children so self time is a subtraction
+   at span end, not a tree walk. *)
+type frame = {
+  f_name : string;
+  f_t0 : float;
+  f_w0 : float; (* Gc.minor_words at entry (per-domain statistic) *)
+  mutable f_child_s : float;
+}
+
+let frames_key = Domain.DLS.new_key (fun () -> ref ([] : frame list))
+
+(* The merged profile tree: one node per distinct span path, aggregated
+   across domains (the per-domain view lives in the trace buffers; the
+   tree answers "where did the time go", which wants the union).  Mutated
+   under one mutex, once per completed span — spans are coarse, so this
+   is nowhere near the contention profile of a per-tick lock. *)
+type pnode = {
+  pn_name : string;
+  mutable pn_count : int;
+  mutable pn_total_s : float; (* inclusive wall *)
+  mutable pn_child_s : float; (* sum of direct children's inclusive wall *)
+  mutable pn_alloc_w : float; (* inclusive minor words, emitting domain *)
+  mutable pn_errors : int;
+  pn_children : (string, pnode) Hashtbl.t;
+}
+
+let new_pnode name =
+  {
+    pn_name = name;
+    pn_count = 0;
+    pn_total_s = 0.;
+    pn_child_s = 0.;
+    pn_alloc_w = 0.;
+    pn_errors = 0;
+    pn_children = Hashtbl.create 8;
+  }
+
+let profile_mutex = Mutex.create ()
+let profile_root = new_pnode ""
+
+(* Reason and innermost-first span stack captured by [mark_exhaustion] at
+   the instant a budget ran out — the "who ate my budget" forensics.  Only
+   the first mark is kept: the initial exhaustion is the interesting one,
+   the sticky re-raises and sibling cancellations that follow are fallout. *)
+let exhaustion_cell : (string * string list) option ref = ref None
+
+let mark_exhaustion reason =
+  if !profiling_flag then begin
+    let stack = List.map (fun f -> f.f_name) !(Domain.DLS.get frames_key) in
+    Mutex.lock profile_mutex;
+    if !exhaustion_cell = None then exhaustion_cell := Some (reason, stack);
+    Mutex.unlock profile_mutex
+  end
+
+let exhaustion_snapshot () =
+  Mutex.lock profile_mutex;
+  let v = !exhaustion_cell in
+  Mutex.unlock profile_mutex;
+  v
+
+let find_or_create parent name =
+  match Hashtbl.find_opt parent.pn_children name with
+  | Some n -> n
+  | None ->
+      let n = new_pnode name in
+      Hashtbl.replace parent.pn_children name n;
+      n
+
+(* [path] is the outermost-first ancestor list (after popping the span's
+   own frame); the node lives at [path @ [name]] under the root. *)
+let profile_record path name dur alloc child_s err =
+  Mutex.lock profile_mutex;
+  let parent = List.fold_left find_or_create profile_root path in
+  let n = find_or_create parent name in
+  n.pn_count <- n.pn_count + 1;
+  n.pn_total_s <- n.pn_total_s +. dur;
+  n.pn_child_s <- n.pn_child_s +. child_s;
+  n.pn_alloc_w <- n.pn_alloc_w +. alloc;
+  if err then n.pn_errors <- n.pn_errors + 1;
+  Mutex.unlock profile_mutex
+
+(* --- with_span -------------------------------------------------------------- *)
+
 let with_span name f =
   if not !enabled_flag then f ()
-  else begin
+  else if not !profiling_flag then begin
     let t0 = Unix.gettimeofday () in
     let d = depth () in
     Stdlib.incr d;
@@ -207,6 +381,194 @@ let with_span name f =
         record_span name (Unix.gettimeofday () -. t0) true;
         raise e
   end
+  else begin
+    let tid = self_tid () in
+    let buf = Domain.DLS.get tbuf_key in
+    let frames = Domain.DLS.get frames_key in
+    let d = depth () in
+    let fr =
+      { f_name = name; f_t0 = Unix.gettimeofday (); f_w0 = Gc.minor_words (); f_child_s = 0. }
+    in
+    frames := fr :: !frames;
+    Stdlib.incr d;
+    push_event buf { te_name = name; te_ph = 'B'; te_ts = fr.f_t0; te_tid = tid; te_err = false };
+    let finish err =
+      let t1 = Unix.gettimeofday () in
+      let dur = t1 -. fr.f_t0 in
+      let alloc = Gc.minor_words () -. fr.f_w0 in
+      (match !frames with
+      | top :: rest when top == fr ->
+          frames := rest;
+          (match rest with
+          | parent :: _ -> parent.f_child_s <- parent.f_child_s +. dur
+          | [] -> ())
+      | _ -> () (* unbalanced pop can only mean a reset mid-span; shrug *));
+      Stdlib.decr d;
+      push_event buf { te_name = name; te_ph = 'E'; te_ts = t1; te_tid = tid; te_err = err };
+      profile_record
+        (List.rev_map (fun f -> f.f_name) !frames)
+        name dur alloc fr.f_child_s err;
+      record_span name dur err
+    in
+    match f () with
+    | v ->
+        finish false;
+        v
+    | exception e ->
+        finish true;
+        raise e
+  end
+
+(* --- profiler switches ------------------------------------------------------ *)
+
+let enable_profiling () =
+  enabled_flag := true;
+  profiling_flag := true
+
+let disable_profiling () = profiling_flag := false
+
+(* --- profile snapshots ------------------------------------------------------ *)
+
+type profile_node = {
+  p_name : string;
+  p_count : int;
+  p_total_s : float;
+  p_self_s : float;
+  p_alloc_words : float;
+  p_errors : int;
+  p_children : profile_node list;
+}
+
+let rec snapshot_node n =
+  let children =
+    Hashtbl.fold (fun _ c acc -> snapshot_node c :: acc) n.pn_children []
+    |> List.sort (fun a b -> compare b.p_total_s a.p_total_s)
+  in
+  {
+    p_name = n.pn_name;
+    p_count = n.pn_count;
+    p_total_s = n.pn_total_s;
+    p_self_s = Float.max 0. (n.pn_total_s -. n.pn_child_s);
+    p_alloc_words = n.pn_alloc_w;
+    p_errors = n.pn_errors;
+    p_children = children;
+  }
+
+let profile_tree () =
+  Mutex.lock profile_mutex;
+  let roots = (snapshot_node profile_root).p_children in
+  Mutex.unlock profile_mutex;
+  roots
+
+(* Flat attribution: aggregate the tree by span name (a recursive span's
+   inclusive time is counted once per distinct path, so [total] can exceed
+   wall clock for self-nested spans; [self] never double-counts). *)
+let self_time_table () =
+  let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 32 in
+  let rec go n =
+    (if n.p_name <> "" then
+       let calls, total, self =
+         Option.value ~default:(0, 0., 0.) (Hashtbl.find_opt tbl n.p_name)
+       in
+       Hashtbl.replace tbl n.p_name
+         (calls + n.p_count, total +. n.p_total_s, self +. n.p_self_s));
+    List.iter go n.p_children
+  in
+  List.iter go (profile_tree ());
+  Hashtbl.fold (fun name (c, t, s) acc -> (name, c, t, s) :: acc) tbl []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+
+let profile_reset () =
+  Mutex.lock profile_mutex;
+  Hashtbl.reset profile_root.pn_children;
+  exhaustion_cell := None;
+  Mutex.unlock profile_mutex
+
+(* --- trace export ----------------------------------------------------------- *)
+
+(* Chrome Trace Event Format (the JSON object form, loadable in
+   chrome://tracing and Perfetto): B/E duration events with one [tid] per
+   domain, plus thread-name metadata.  A process that called [exit] with
+   spans still open would leave unmatched B events, so the writer tracks
+   each tid's open stack and synthesizes the missing E events at that
+   tid's last timestamp — the emitted file is always balanced. *)
+let write_chrome_trace oc =
+  let bufs = with_registry (fun () -> List.rev !trace_bufs) in
+  let epoch =
+    List.fold_left
+      (fun acc b -> if b.tb_len > 0 then Float.min acc b.tb_evs.(0).te_ts else acc)
+      infinity bufs
+  in
+  let epoch = if epoch = infinity then 0. else epoch in
+  let us ts = (ts -. epoch) *. 1e6 in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b line
+  in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  emit "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"conddep\"}}";
+  List.iter
+    (fun tb ->
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain-%d\"}}"
+           tb.tb_tid tb.tb_tid))
+    bufs;
+  List.iter
+    (fun tb ->
+      let open_stack = ref [] in
+      let last_ts = ref 0. in
+      for i = 0 to tb.tb_len - 1 do
+        let ev = tb.tb_evs.(i) in
+        last_ts := us ev.te_ts;
+        (match ev.te_ph with
+        | 'B' ->
+            open_stack := ev.te_name :: !open_stack;
+            emit
+              (Printf.sprintf
+                 "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"span\"}"
+                 ev.te_tid (us ev.te_ts) (escape ev.te_name))
+        | 'E' ->
+            (match !open_stack with _ :: rest -> open_stack := rest | [] -> ());
+            emit
+              (Printf.sprintf
+                 "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"span\"%s}"
+                 ev.te_tid (us ev.te_ts) (escape ev.te_name)
+                 (if ev.te_err then ",\"args\":{\"err\":true}" else ""))
+        | _ ->
+            emit
+              (Printf.sprintf
+                 "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"s\":\"t\"}"
+                 ev.te_tid (us ev.te_ts) (escape ev.te_name)));
+        ()
+      done;
+      (* close anything left open on this track *)
+      List.iter
+        (fun name ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"span\"}"
+               tb.tb_tid !last_ts (escape name)))
+        !open_stack)
+    bufs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.output_buffer oc b;
+  Stdlib.flush oc
+
+(* Folded-stack output for flamegraph.pl / inferno: one line per profile
+   tree path, weighted by self time in microseconds. *)
+let write_folded oc =
+  let rec go prefix n =
+    let path = if prefix = "" then n.p_name else prefix ^ ";" ^ n.p_name in
+    let self_us = int_of_float (n.p_self_s *. 1e6) in
+    if self_us > 0 then Printf.fprintf oc "%s %d\n" path self_us;
+    List.iter (go path) n.p_children
+  in
+  List.iter (go "") (profile_tree ());
+  Stdlib.flush oc
 
 (* --- snapshots ----------------------------------------------------------- *)
 
@@ -251,6 +613,39 @@ let histogram_snapshot () =
 let counter_docs () =
   Hashtbl.fold (fun name c acc -> (name, c.c_doc) :: acc) counters [] |> by_name
 
+(* Estimated quantile from the log-scale buckets: find the bucket holding
+   the q-th observation and log-interpolate inside it (each bucket spans a
+   constant factor of sqrt(10), so the geometric interpolation matches the
+   bucket layout).  An estimate, not a measurement: the true value is
+   somewhere in the bucket, the interpolation just picks a defensible
+   point. *)
+let quantile (hs : histogram_stats) q =
+  if hs.hs_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = Float.max 1e-9 (q *. float_of_int hs.hs_count) in
+    let sqrt10 = sqrt 10. in
+    let rec go cum lo = function
+      | [] -> Float.nan (* unreachable: overflow bucket ends the list *)
+      | (le, n) :: rest ->
+          let cum' = cum +. float_of_int n in
+          if n > 0 && cum' >= target then begin
+            let hi = if le = infinity then lo *. sqrt10 else le in
+            let lo = if lo = 0. then hi /. sqrt10 else lo in
+            let frac = (target -. cum) /. float_of_int n in
+            lo *. ((hi /. lo) ** frac)
+          end
+          else go cum' (if le = infinity then lo else le) rest
+    in
+    go 0. 0. hs.hs_buckets
+  end
+
+let dur_to_string s =
+  if Float.is_nan s then "n/a"
+  else if s >= 1. then Printf.sprintf "%.3fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.3fms" (s *. 1e3)
+  else Printf.sprintf "%.1fus" (s *. 1e6)
+
 let reset () =
   Hashtbl.iter (fun _ c -> Atomic.set c.c_count 0) counters;
   Hashtbl.iter
@@ -261,7 +656,13 @@ let reset () =
       h.h_sum <- 0.;
       Mutex.unlock h.h_mutex)
     histograms;
-  depth () := 0
+  depth () := 0;
+  Domain.DLS.get frames_key := [];
+  (* trace buffers of other domains are cleared too: reset is a quiesced-
+     state operation (tests, bench section boundaries), never concurrent
+     with live instrumented work *)
+  with_registry (fun () -> List.iter (fun b -> b.tb_len <- 0) !trace_bufs);
+  profile_reset ()
 
 (* --- JSON-lines emission and parsing ------------------------------------- *)
 
@@ -339,7 +740,7 @@ type event =
   | Counter_event of { name : string; value : int }
   | Gauge_event of { name : string; value : int }
   | Histogram_event of { name : string; stats : histogram_stats }
-  | Span_event of { name : string; dur_s : float; depth : int; err : bool }
+  | Span_event of { name : string; dur_s : float; depth : int; tid : int; err : bool }
 
 (* A tiny scanner for the exact lines the Jsonl sink writes (and the bench
    counter blocks).  Not a general JSON parser: the grammar is ours. *)
@@ -458,6 +859,10 @@ let parse_event line =
                  depth =
                    (match number_field line "depth" with
                    | Some d -> int_of_float d
+                   | None -> 0);
+                 tid =
+                   (match number_field line "tid" with
+                   | Some t -> int_of_float t
                    | None -> 0);
                  err = find_field line "err" <> None;
                })

@@ -9,13 +9,20 @@ open Helpers
    and leave it that way for whoever runs next. *)
 let with_clean_telemetry f =
   Telemetry.reset ();
+  Telemetry.disable_profiling ();
   Telemetry.disable ();
   Telemetry.set_sink Telemetry.Null;
   Fun.protect ~finally:(fun () ->
       Telemetry.reset ();
+      Telemetry.disable_profiling ();
       Telemetry.disable ();
       Telemetry.set_sink Telemetry.Null)
     f
+
+let with_clean_profiling f =
+  with_clean_telemetry @@ fun () ->
+  Telemetry.enable_profiling ();
+  f ()
 
 (* --- counters -------------------------------------------------------------- *)
 
@@ -150,7 +157,7 @@ let test_jsonl_round_trip () =
   let span =
     List.find_map
       (function
-        | Telemetry.Span_event { name = "test.rt_span"; dur_s; depth; err } ->
+        | Telemetry.Span_event { name = "test.rt_span"; dur_s; depth; err; _ } ->
             Some (dur_s, depth, err)
         | _ -> None)
       events
@@ -181,6 +188,359 @@ let test_jsonl_round_trip () =
         (List.fold_left
            (fun acc (le, n) -> if abs_float (le -. target) < 1e-6 then acc + n else acc)
            0 stats.hs_buckets)
+
+(* --- profiler: span-tree attribution ---------------------------------------- *)
+
+(* Recursive tree invariants: self >= 0 and self + children's inclusive
+   totals stay within the node's own inclusive total (small epsilon for
+   float accumulation). *)
+let rec check_profile_invariants (n : Telemetry.profile_node) =
+  check_bool (n.p_name ^ " self >= 0") true (n.p_self_s >= 0.);
+  let child_total =
+    List.fold_left (fun acc c -> acc +. c.Telemetry.p_total_s) 0. n.p_children
+  in
+  check_bool
+    (Printf.sprintf "%s self (%g) + children (%g) <= total (%g)" n.p_name
+       n.p_self_s child_total n.p_total_s)
+    true
+    (n.p_self_s +. child_total <= n.p_total_s +. 1e-6);
+  List.iter check_profile_invariants n.p_children
+
+let test_profile_tree_shape () =
+  with_clean_profiling @@ fun () ->
+  for _ = 1 to 3 do
+    Telemetry.with_span "t.outer" (fun () ->
+        Telemetry.with_span "t.inner" (fun () -> ignore (Sys.opaque_identity 1));
+        Telemetry.with_span "t.inner2" (fun () -> ()))
+  done;
+  (try
+     Telemetry.with_span "t.outer" (fun () ->
+         Telemetry.with_span "t.boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let roots = Telemetry.profile_tree () in
+  let outer = List.find (fun n -> n.Telemetry.p_name = "t.outer") roots in
+  check_int "outer count" 4 outer.p_count;
+  check_int "outer children" 3 (List.length outer.p_children);
+  check_int "outer errors (raise propagated)" 1 outer.p_errors;
+  let inner = List.find (fun n -> n.Telemetry.p_name = "t.inner") outer.p_children in
+  check_int "inner count" 3 inner.p_count;
+  check_int "inner errors" 0 inner.p_errors;
+  let boom = List.find (fun n -> n.Telemetry.p_name = "t.boom") outer.p_children in
+  check_int "boom count" 1 boom.p_count;
+  check_int "boom errors" 1 boom.p_errors;
+  List.iter check_profile_invariants roots;
+  (* the flat table agrees with the tree and is sorted by self, descending *)
+  let table = Telemetry.self_time_table () in
+  let _, calls, _, _ =
+    List.find (fun (name, _, _, _) -> name = "t.outer") table
+  in
+  check_int "table aggregates outer calls" 4 calls;
+  let selfs = List.map (fun (_, _, _, s) -> s) table in
+  check_bool "table sorted by self desc" true
+    (List.sort (fun a b -> compare b a) selfs = selfs);
+  (* span histograms fed as usual alongside the tree *)
+  let stats = List.assoc "t.outer" (Telemetry.histogram_snapshot ()) in
+  check_int "histogram still observes profiled spans" 4 stats.Telemetry.hs_count
+
+let test_profile_under_faults () =
+  (* self <= total must survive exceptional unwinding via armed Guard
+     fault probes, the GUARD_FAULTS mechanism's programmatic form *)
+  with_clean_profiling @@ fun () ->
+  Guard.arm ~site:"test.telemetry.fault" Guard.Raise;
+  Fun.protect ~finally:Guard.disarm_all @@ fun () ->
+  for _ = 1 to 5 do
+    try
+      Telemetry.with_span "t.f_outer" (fun () ->
+          Telemetry.with_span "t.f_inner" (fun () ->
+              Guard.probe "test.telemetry.fault"))
+    with Guard.Exhausted (Guard.Fault _) -> ()
+  done;
+  let roots = Telemetry.profile_tree () in
+  let outer = List.find (fun n -> n.Telemetry.p_name = "t.f_outer") roots in
+  check_int "every faulted run recorded" 5 outer.p_count;
+  check_int "every faulted run marked err" 5 outer.p_errors;
+  List.iter check_profile_invariants roots;
+  (* the probe marked exhaustion forensics with the live span stack *)
+  match Telemetry.exhaustion_snapshot () with
+  | None -> Alcotest.fail "fault probe left no exhaustion mark"
+  | Some (reason, stack) ->
+      check_string "fault reason" "fault:test.telemetry.fault" reason;
+      check_bool "innermost span on the stack" true (List.mem "t.f_inner" stack)
+
+let test_exhaustion_mark_fuel () =
+  with_clean_profiling @@ fun () ->
+  let b = Guard.make ~fuel:10 () in
+  (try
+     Telemetry.with_span "t.burn" (fun () ->
+         while true do
+           Guard.tick b
+         done)
+   with Guard.Exhausted Guard.Fuel -> ());
+  (match Telemetry.exhaustion_snapshot () with
+  | None -> Alcotest.fail "fuel exhaustion left no mark"
+  | Some (reason, stack) ->
+      check_string "reason" "fuel" reason;
+      check_bool "span stack captured" true (List.mem "t.burn" stack));
+  (* first mark wins: a later exhaustion does not overwrite the forensics *)
+  let b2 = Guard.make ~fuel:5 () in
+  (try
+     Telemetry.with_span "t.burn2" (fun () ->
+         while true do
+           Guard.tick b2
+         done)
+   with Guard.Exhausted Guard.Fuel -> ());
+  match Telemetry.exhaustion_snapshot () with
+  | Some (_, stack) -> check_bool "first mark kept" true (List.mem "t.burn" stack)
+  | None -> Alcotest.fail "mark vanished"
+
+(* --- profiler: trace export -------------------------------------------------- *)
+
+(* A tiny recursive-descent JSON syntax checker (the test deps have no
+   JSON library): accepts RFC 8259 JSON, rejects trailing garbage.  Used
+   to prove exported Chrome traces are well-formed without python. *)
+let json_valid (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let adv () = incr pos in
+  let rec skip_ws () =
+    match peek () with Some (' ' | '\t' | '\n' | '\r') -> adv (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = Some c then adv () else raise Exit in
+  let digits () =
+    match peek () with
+    | Some '0' .. '9' ->
+        while match peek () with Some '0' .. '9' -> true | _ -> false do
+          adv ()
+        done
+    | _ -> raise Exit
+  in
+  let lit w = String.iter expect w in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Exit);
+    skip_ws ()
+  and str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> adv ()
+      | Some '\\' -> (
+          adv ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> adv (); go ()
+          | Some 'u' ->
+              adv ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> adv ()
+                | _ -> raise Exit
+              done;
+              go ()
+          | _ -> raise Exit)
+      | Some c when Char.code c >= 0x20 -> adv (); go ()
+      | _ -> raise Exit
+    in
+    go ()
+  and number () =
+    if peek () = Some '-' then adv ();
+    (* int part: a lone 0, or a nonzero digit run (no leading zeros) *)
+    (match peek () with
+    | Some '0' -> adv ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> raise Exit);
+    if peek () = Some '.' then begin adv (); digits () end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        adv ();
+        (match peek () with Some ('+' | '-') -> adv () | _ -> ());
+        digits ()
+    | _ -> ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then adv ()
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        match peek () with
+        | Some ',' -> adv (); members ()
+        | Some '}' -> adv ()
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then adv ()
+    else
+      let rec elems () =
+        value ();
+        match peek () with
+        | Some ',' -> adv (); elems ()
+        | Some ']' -> adv ()
+        | _ -> raise Exit
+      in
+      elems ()
+  in
+  match value (); skip_ws (); !pos = n with b -> b | exception Exit -> false
+
+let test_json_validator_itself () =
+  List.iter
+    (fun (ok, s) -> check_bool (Printf.sprintf "json_valid %S" s) ok (json_valid s))
+    [
+      (true, "{}");
+      (true, "{\"a\":[1,2.5,-3e2,\"x\\n\",true,null,{}]}");
+      (true, "  [ ]  ");
+      (false, "{");
+      (false, "{\"a\":1,}");
+      (false, "[1 2]");
+      (false, "{\"a\":01}");
+      (false, "{}garbage");
+      (false, "\"unterminated");
+    ]
+
+(* Every B must have a matching E on the same tid with the same name, in
+   properly nested (stack) order; buffers are per-domain and concatenated
+   in order, so a per-tid stack walk over the flat list must balance. *)
+let check_trace_balanced evs =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Telemetry.trace_event) ->
+      let st = Option.value ~default:[] (Hashtbl.find_opt stacks e.te_tid) in
+      match e.te_ph with
+      | 'B' -> Hashtbl.replace stacks e.te_tid (e.te_name :: st)
+      | 'E' -> (
+          match st with
+          | top :: rest when String.equal top e.te_name ->
+              Hashtbl.replace stacks e.te_tid rest
+          | top :: _ ->
+              Alcotest.failf "tid %d: E %s closes B %s" e.te_tid e.te_name top
+          | [] -> Alcotest.failf "tid %d: E %s without B" e.te_tid e.te_name)
+      | _ -> ())
+    evs;
+  Hashtbl.iter
+    (fun tid st ->
+      if st <> [] then
+        Alcotest.failf "tid %d: %d span(s) left open" tid (List.length st))
+    stacks
+
+(* Random nested span workloads, some raising, some on spawned domains —
+   the exported trace must stay well-formed JSON with balanced B/E pairs
+   per tid whatever the structure. *)
+let trace_property_test =
+  qtest ~count:15 "chrome traces well-formed and balanced" QCheck.(int_bound 10_000)
+    (fun seed ->
+      with_clean_profiling @@ fun () ->
+      let rec spans rng depth =
+        let n = 1 + Random.State.int rng 3 in
+        for i = 1 to n do
+          let name = Printf.sprintf "q.d%d_%d" depth i in
+          try
+            Telemetry.with_span name (fun () ->
+                if depth < 3 && Random.State.int rng 2 = 0 then
+                  spans rng (depth + 1);
+                if Random.State.int rng 8 = 0 then failwith "q")
+          with Failure _ -> ()
+        done
+      in
+      spans (Random.State.make [| seed |]) 0;
+      let workers =
+        List.init 2 (fun i ->
+            Domain.spawn (fun () -> spans (Random.State.make [| seed + i + 1 |]) 0))
+      in
+      List.iter Domain.join workers;
+      check_trace_balanced (Telemetry.trace_events ());
+      List.iter check_profile_invariants (Telemetry.profile_tree ());
+      let path = Filename.temp_file "telemetry_trace" ".json" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      let oc = open_out path in
+      Telemetry.write_chrome_trace oc;
+      close_out oc;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      check_bool "exported trace is valid JSON" true (json_valid contents);
+      true)
+
+(* --- multi-domain JSONL sink -------------------------------------------------- *)
+
+let test_multidomain_jsonl_no_interleaving () =
+  with_clean_telemetry @@ fun () ->
+  Telemetry.enable ();
+  let path = Filename.temp_file "telemetry_md" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  Telemetry.set_sink (Telemetry.Jsonl oc);
+  let work () =
+    for _ = 1 to 50 do
+      Telemetry.with_span "md.outer" (fun () ->
+          Telemetry.with_span "md.inner" (fun () -> ()))
+    done
+  in
+  let workers = List.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join workers;
+  Telemetry.set_sink Telemetry.Null;
+  close_out oc;
+  let ic = open_in path in
+  let spans = ref 0 in
+  let tids = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = input_line ic in
+       match Telemetry.parse_event line with
+       | Some (Telemetry.Span_event { name; tid; _ }) ->
+           (* concurrent emission must never interleave bytes: every line
+              parses and carries one of the two expected names *)
+           check_bool "span name intact" true (name = "md.outer" || name = "md.inner");
+           Hashtbl.replace tids tid ();
+           incr spans
+       | Some _ -> ()
+       | None -> Alcotest.failf "corrupt JSONL line: %s" line
+     done
+   with End_of_file -> close_in ic);
+  check_int "every span from every domain present" 400 !spans;
+  check_bool "several distinct domain tracks" true (Hashtbl.length tids >= 2)
+
+(* --- quantiles --------------------------------------------------------------- *)
+
+let test_quantile_estimates () =
+  with_clean_telemetry @@ fun () ->
+  Telemetry.enable ();
+  let h = Telemetry.histogram "test.quant" in
+  for _ = 1 to 90 do
+    Telemetry.observe h 1e-3
+  done;
+  for _ = 1 to 10 do
+    Telemetry.observe h 1.0
+  done;
+  let hs = List.assoc "test.quant" (Telemetry.histogram_snapshot ()) in
+  let q p = Telemetry.quantile hs p in
+  (* 1e-3 lands in the bucket (10^-3.5, 10^-3]; the estimate must stay
+     inside that bucket *)
+  check_bool "p50 in the 1ms bucket" true (q 0.5 > 3e-4 && q 0.5 <= 1e-3 +. 1e-9);
+  (* the top decile lands in the (10^-0.5, 1] bucket *)
+  check_bool "p99 in the 1s bucket" true (q 0.99 > 0.3 && q 0.99 <= 1.0 +. 1e-9);
+  check_bool "quantiles monotone" true (q 0.5 <= q 0.9 && q 0.9 <= q 0.99);
+  let empty = List.assoc "test.hist_empty"
+      (Telemetry.histogram "test.hist_empty" |> fun _ -> Telemetry.histogram_snapshot ())
+  in
+  check_bool "empty histogram -> nan" true (Float.is_nan (Telemetry.quantile empty 0.5));
+  check_string "dur_to_string scales" "1.500ms" (Telemetry.dur_to_string 1.5e-3)
 
 (* --- determinism guard ------------------------------------------------------ *)
 
@@ -233,6 +593,79 @@ let test_verdicts_unperturbed () =
   check_bool "checking.calls counted" true
     (List.assoc "checking.calls" (Telemetry.counter_snapshot ()) >= 8)
 
+(* Profiling is a heavier tier than --trace/--metrics; the same guarantee
+   must hold — identical verdicts with the profiler on, and a fully dark
+   pipeline (no spans, no trace events, no counters) when disabled. *)
+let test_verdicts_unperturbed_by_profiling () =
+  with_clean_telemetry @@ fun () ->
+  let verdicts () =
+    List.map
+      (fun seed ->
+        let rng = Rng.make seed in
+        let sconfig =
+          {
+            Schema_gen.default with
+            Schema_gen.num_relations = 4;
+            max_arity = 4;
+            finite_ratio = 0.4;
+            finite_dom_max = 8;
+          }
+        in
+        let schema = Schema_gen.generate rng sconfig in
+        let sigma =
+          Workload.random rng
+            { Workload.default with Workload.num_constraints = 20 }
+            schema
+        in
+        match Checking.check ~k:4 ~rng:(Rng.make (seed + 1)) schema sigma with
+        | Checking.Consistent _ -> "consistent"
+        | Checking.Inconsistent -> "inconsistent"
+        | Checking.Unknown _ -> "unknown")
+      [ 1; 2; 3; 4 ]
+  in
+  let baseline = verdicts () in
+  Telemetry.enable_profiling ();
+  let profiled = verdicts () in
+  List.iteri
+    (fun i (a, b) ->
+      check_string (Printf.sprintf "verdict %d unchanged under profiling" i) a b)
+    (List.combine baseline profiled);
+  check_bool "profile tree observed the work" true
+    (Telemetry.profile_tree () <> []);
+  check_bool "trace events buffered" true (Telemetry.trace_events () <> []);
+  (* switch everything off and zero: re-running must record nothing *)
+  Telemetry.disable_profiling ();
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let off = verdicts () in
+  List.iteri
+    (fun i (a, b) ->
+      check_string (Printf.sprintf "verdict %d unchanged when disabled" i) a b)
+    (List.combine baseline off);
+  check_bool "no trace events when disabled" true (Telemetry.trace_events () = []);
+  check_bool "no profile tree when disabled" true (Telemetry.profile_tree () = []);
+  check_bool "no gauge moves when disabled"
+    true
+    (List.for_all (fun (_, v) -> v = 0) (Telemetry.counter_snapshot ()));
+  check_bool "no span histograms when disabled" true
+    (List.for_all
+       (fun (_, hs) -> hs.Telemetry.hs_count = 0)
+       (Telemetry.histogram_snapshot ()))
+
+let test_disabled_path_allocation_free () =
+  with_clean_telemetry @@ fun () ->
+  let body = Sys.opaque_identity (fun () -> 0) in
+  (* warm up any lazy runtime structures *)
+  ignore (Telemetry.with_span "test.alloc" body);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1_000 do
+    ignore (Telemetry.with_span "test.alloc" body)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  check_bool
+    (Printf.sprintf "disabled with_span allocates nothing (%.0f minor words)" dw)
+    true (dw < 100.)
+
 (* --- registration from the instrumented libraries --------------------------- *)
 
 let test_instrumented_counters_registered () =
@@ -273,17 +706,43 @@ let () =
             test_instrumented_counters_registered;
         ] );
       ( "histograms",
-        [ Alcotest.test_case "log-scale bucket boundaries" `Quick test_histogram_buckets ] );
+        [
+          Alcotest.test_case "log-scale bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "quantile estimates from buckets" `Quick
+            test_quantile_estimates;
+        ] );
       ( "spans",
         [
           Alcotest.test_case "nesting and exception unwinding" `Quick
             test_span_nesting_and_unwinding;
+          Alcotest.test_case "disabled path allocation-free" `Quick
+            test_disabled_path_allocation_free;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "span-tree attribution" `Quick test_profile_tree_shape;
+          Alcotest.test_case "invariants under armed fault probes" `Quick
+            test_profile_under_faults;
+          Alcotest.test_case "exhaustion forensics mark" `Quick
+            test_exhaustion_mark_fuel;
+        ] );
+      ( "trace export",
+        [
+          Alcotest.test_case "mini JSON validator sanity" `Quick
+            test_json_validator_itself;
+          trace_property_test;
         ] );
       ( "sinks",
-        [ Alcotest.test_case "JSON-lines round trip" `Quick test_jsonl_round_trip ] );
+        [
+          Alcotest.test_case "JSON-lines round trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "multi-domain JSONL never interleaves" `Quick
+            test_multidomain_jsonl_no_interleaving;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "verdicts unchanged with sinks on" `Quick
             test_verdicts_unperturbed;
+          Alcotest.test_case "verdicts unchanged under profiling" `Quick
+            test_verdicts_unperturbed_by_profiling;
         ] );
     ]
