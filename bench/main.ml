@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- --chase-engine naive  # ablation baseline
 
    Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
-             ablation-n ablation-backend micro
+             ablation-n ablation-backend micro chaos
 
    With --timeout, a series point that exceeds the deadline stops early
    and emits a `"timeout": true` metrics row instead of silently skewed
@@ -32,6 +32,7 @@ let sections =
     ("ablation-n", Figures.ablation_pool_size);
     ("ablation-backend", Figures.ablation_backend);
     ("micro", fun scale -> ignore scale; Micro.run ());
+    ("chaos", fun scale -> ignore scale; Chaos_bench.run ());
   ]
 
 let () =

@@ -586,6 +586,103 @@ let stats_cmd =
           & pos 0 (some file) None
           & info [] ~docv:"METRICS" ~doc:"JSON-lines metrics file."))
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+(* Randomized fault-schedule sweep over the Guard probe registry: every
+   round checks a seeded workload twice — fault-free, then with the
+   schedule's probes armed — and asserts the faulty verdict is identical
+   or a typed Unknown.  Failing schedules are dumped as replayable
+   .chaos.json files (raw and shrunk). *)
+let chaos_cmd =
+  let run seed rounds relations constraints out_dir replay =
+    (* retry counters feed the per-round report *)
+    Telemetry.enable ();
+    let policy = Supervise.Policy.ambient () in
+    match replay with
+    | Some file -> (
+        match Chaos.load ~file with
+        | Error msg ->
+            Fmt.epr "cindtool: %s: %s@." file msg;
+            exit_usage
+        | Ok sched ->
+            let r = Chaos.round ~policy sched in
+            Fmt.pr "%a@." Chaos.pp_round r;
+            if r.Chaos.r_ok then exit_ok else exit_negative)
+    | None ->
+        let report =
+          Chaos.sweep ~policy ~relations ~constraints ~seed ~rounds ()
+        in
+        List.iter (fun r -> Fmt.pr "%a@." Chaos.pp_round r) report.Chaos.rounds;
+        Fmt.pr
+          "-- chaos: %d round(s): %d identical, %d degraded-to-unknown, %d \
+           failure(s)@."
+          rounds report.Chaos.survived report.Chaos.unknowns
+          (List.length report.Chaos.failures);
+        List.iter
+          (fun (r : Chaos.round_report) ->
+            let sched = r.Chaos.r_schedule in
+            let base =
+              Filename.concat out_dir
+                (Printf.sprintf "chaos_%d_round%d" seed sched.Chaos.s_round)
+            in
+            Chaos.save ~file:(base ^ ".chaos.json") sched;
+            Chaos.save ~file:(base ^ "_min.chaos.json")
+              (Chaos.shrink ~policy sched);
+            Fmt.epr
+              "cindtool: chaos: verdict changed in round %d; schedule dumped \
+               to %s.chaos.json (shrunk: %s_min.chaos.json)@."
+              sched.Chaos.s_round base base)
+          report.Chaos.failures;
+        if report.Chaos.failures = [] then exit_ok else exit_negative
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~exits
+       ~doc:
+         "Sweep randomized fault schedules over the probe registry and \
+          assert every verdict is identical to the fault-free baseline or a \
+          typed unknown.  Failing schedules are dumped as replayable \
+          $(b,.chaos.json) files (raw and shrunk); replay one with \
+          $(b,--replay) $(i,FILE).  Exit 0 when every round holds, 1 \
+          otherwise."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each round draws a seeded random workload, records the \
+              fault-free verdict (witness included), then re-runs the same \
+              check with 1-3 probe sites armed to fail after a random number \
+              of hits, a random number of times (transient faults retries \
+              can get past, or permanent ones).  The supervised run must \
+              return the bit-identical verdict or degrade to a typed \
+              unknown; a $(i,different) definitive answer fails the round.  \
+              The sweep honours the global $(b,--retries), \
+              $(b,--no-degrade) and $(b,--jobs) flags.";
+         ])
+    Term.(
+      const run $ seed_arg
+      $ Arg.(
+          value & opt int 25
+          & info [ "rounds" ] ~docv:"N" ~doc:"Fault schedules to sweep.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "relations" ] ~docv:"N"
+              ~doc:"Relations per generated workload.")
+      $ Arg.(
+          value & opt int 24
+          & info [ "constraints" ] ~docv:"N"
+              ~doc:"Constraints per generated workload.")
+      $ Arg.(
+          value & opt dir "."
+          & info [ "out-dir" ] ~docv:"DIR"
+              ~doc:"Directory for dumped .chaos.json schedules.")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "replay" ] ~docv:"FILE"
+              ~doc:
+                "Replay one dumped schedule instead of sweeping; exit 0 if \
+                 the verdict-identity property holds for it."))
+
 (* --- profile ------------------------------------------------------------------ *)
 
 (* `cindtool profile CMD ...` is intercepted before cmdliner dispatch (the
@@ -625,6 +722,8 @@ type globals = {
   g_fuel : int option;
   g_jobs : int option;
   g_engine : Conddep_chase.Chase.engine option;
+  g_retries : int option;
+  g_no_degrade : bool;
 }
 
 (* The global --profile takes an output FILE whose extension picks the
@@ -663,6 +762,11 @@ let extract_globals argv =
         Error
           (Printf.sprintf "--chase-engine expects 'delta' or 'naive', got %S" s)
   in
+  let retries_of s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Some n)
+    | _ -> Error (Printf.sprintf "--retries expects a non-negative count, got %S" s)
+  in
   let rec go g = function
     | [] -> Ok { g with g_rest = List.rev g.g_rest }
     | "--trace" :: rest -> go { g with g_trace = true } rest
@@ -689,6 +793,12 @@ let extract_globals argv =
     | "--chase-engine" :: name :: rest -> (
         match engine_of name with
         | Ok e -> go { g with g_engine = e } rest
+        | Error _ as e -> e)
+    | "--no-degrade" :: rest -> go { g with g_no_degrade = true } rest
+    | [ "--retries" ] -> Error "option --retries needs an argument"
+    | "--retries" :: n :: rest -> (
+        match retries_of n with
+        | Ok r -> go { g with g_retries = r } rest
         | Error _ as e -> e)
     | arg :: rest -> (
         match split_eq "--metrics=" arg with
@@ -722,7 +832,14 @@ let extract_globals argv =
                             match engine_of name with
                             | Ok e -> go { g with g_engine = e } rest
                             | Error _ as e -> e)
-                        | None -> go { g with g_rest = arg :: g.g_rest } rest)))))
+                        | None -> (
+                            match split_eq "--retries=" arg with
+                            | Some n -> (
+                                match retries_of n with
+                                | Ok r -> go { g with g_retries = r } rest
+                                | Error _ as e -> e)
+                            | None ->
+                                go { g with g_rest = arg :: g.g_rest } rest))))))
   in
   go
     {
@@ -734,6 +851,8 @@ let extract_globals argv =
       g_fuel = None;
       g_jobs = None;
       g_engine = None;
+      g_retries = None;
+      g_no_degrade = false;
     }
     argv
 
@@ -805,6 +924,27 @@ let setup_engine ~engine =
   | Some e -> Conddep_chase.Chase.set_default_engine e
   | None -> ()
 
+(* Unlike the library (whose default keeps supervision off so embedded
+   callers see historical behaviour), the tool defaults to the supervised
+   policy: transient faults are retried and the fallback ladder may step
+   to slower verdict-identical paths.  --retries 0 --no-degrade restores
+   the unsupervised library behaviour. *)
+let setup_supervision ~retries ~no_degrade =
+  let base = Supervise.Policy.supervised in
+  Supervise.Policy.set_ambient
+    {
+      Supervise.Policy.retries =
+        Option.value ~default:base.Supervise.Policy.retries retries;
+      degrade = (not no_degrade) && base.Supervise.Policy.degrade;
+    }
+
+(* Every ladder step taken anywhere in the run, reported once at exit so
+   a degraded-but-answered invocation is visible, not silent. *)
+let report_degradations () =
+  List.iter
+    (fun d -> Fmt.epr "cindtool: degraded: %a@." Supervise.pp_degradation d)
+    (Supervise.degradation_trail ())
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -857,6 +997,23 @@ let () =
          same canonical operation schedule and produce bit-identical \
          verdicts, witnesses and exit codes at any $(b,--jobs) count; only \
          wall-clock time changes.";
+      `P
+        "$(b,--retries) $(i,N) (anywhere on the command line) allows up to \
+         $(i,N) supervised re-runs of an operation that failed transiently \
+         (an injected fault, a local allocation ceiling) before the \
+         fallback ladder steps down.  Each re-run replays the same random \
+         seed, so a successful retry returns the bit-identical verdict the \
+         fault-free run would have produced.  Default 1; $(b,--retries 0) \
+         disables retrying.  Definitive verdicts and deterministic budget \
+         give-ups are never retried.";
+      `P
+        "$(b,--no-degrade) (anywhere on the command line) disables the \
+         degradation ladder (parallel to sequential, delta chase to naive, \
+         SAT to chase).  By default, when retries are exhausted the tool \
+         steps down to the next slower verdict-identical path and reports \
+         each step at exit as $(b,cindtool: degraded: ...) on stderr; with \
+         this flag the failure surfaces immediately as an undetermined \
+         answer (exit 3).";
     ]
   in
   let info =
@@ -880,6 +1037,7 @@ let () =
       setup_guard ~timeout:g.g_timeout ~fuel:g.g_fuel;
       setup_jobs ~jobs:g.g_jobs;
       setup_engine ~engine:g.g_engine;
+      setup_supervision ~retries:g.g_retries ~no_degrade:g.g_no_degrade;
       let argv = Array.of_list (Sys.argv.(0) :: g.g_rest) in
       let group =
         Cmd.group info
@@ -896,6 +1054,7 @@ let () =
             witness_cmd;
             gen_cmd;
             stats_cmd;
+            chaos_cmd;
             profile_stub_cmd;
           ]
       in
@@ -917,5 +1076,6 @@ let () =
             Fmt.epr "cindtool: internal error: %s@." (Printexc.to_string e);
             exit_usage
       in
+      report_degradations ();
       (* cmdliner's CLI-error code is 124; fold it into the uniform scheme *)
       exit (if code = 124 || code = 123 || code = 125 then exit_usage else code)

@@ -43,6 +43,10 @@ type config = {
   max_steps : int; (* safety budget on chase operations *)
 }
 
+let () =
+  List.iter Guard.register_probe
+    [ "chase.run"; "chase.fd_fixpoint"; "chase.delta"; "chase.delta.drain" ]
+
 let m_runs = Telemetry.counter "chase.runs" ~doc:"full chase invocations"
 let m_fd_steps = Telemetry.counter "chase.fd_steps" ~doc:"FD(phi) applications (value identifications)"
 let m_ind_steps = Telemetry.counter "chase.ind_steps" ~doc:"IND(psi) applications (witness tuples added)"

@@ -20,6 +20,8 @@ type backend =
   | Chase_backend
   | Sat_backend
 
+let () = Guard.register_probe "checking.cfd"
+
 let m_calls = Telemetry.counter "checking.cfd.calls" ~doc:"CFD_Checking invocations (both backends)"
 let m_kcfd_retries = Telemetry.counter "checking.cfd.kcfd_retries" ~doc:"random valuations drawn by the chase backend (K_CFD budget consumed)"
 let m_chase_calls = Telemetry.counter "checking.cfd.chase_backend_calls" ~doc:"single-relation checks routed to the chase backend"
@@ -193,18 +195,32 @@ let consistent_rel_sat ?budget ?(avoid = []) schema cfds ~rel =
 
 (* Uniform front-end on the single-tuple problem: a satisfying template
    tuple, with finite-domain fields concrete, or None. *)
-let consistent_rel ?(backend = Chase_backend) ?budget ?engine ?avoid ?k_cfd ~rng schema cfds ~rel =
+let consistent_rel ?(backend = Chase_backend) ?policy ?budget ?engine ?avoid ?k_cfd ~rng
+    schema cfds ~rel =
+  let via_chase () =
+    Telemetry.incr m_chase_calls;
+    let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
+    match consistent_rel_chase ?budget ?engine ?k_cfd ?avoid ~rng schema cfds ~rel with
+    | None -> None
+    | Some db -> (
+        match Template.tuples db rel with [ t ] -> Some t | _ -> assert false)
+  in
   match backend with
-  | Chase_backend -> (
-      Telemetry.incr m_chase_calls;
-      let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
-      match consistent_rel_chase ?budget ?engine ?k_cfd ?avoid ~rng schema cfds ~rel with
-      | None -> None
-      | Some db -> (
-          match Template.tuples db rel with [ t ] -> Some t | _ -> assert false))
+  | Chase_backend -> via_chase ()
   | Sat_backend -> (
       Telemetry.incr m_sat_calls;
       match consistent_rel_sat ?budget ?avoid schema cfds ~rel with
       | None -> None
       | Some tuple ->
-          Some (Array.map (fun v -> Template.C v) (Array.of_list (Tuple.to_list tuple))))
+          Some (Array.map (fun v -> Template.C v) (Array.of_list (Tuple.to_list tuple)))
+      | exception Guard.Exhausted (Guard.Fault _ as r)
+        when (Supervise.Policy.resolve policy).Supervise.Policy.degrade
+             && Guard.state (Guard.resolve budget) = None ->
+          (* SAT -> chase ladder rung: the solver faulted but the shared
+             budget is intact, so fall back to the (slower, heuristic but
+             verdict-compatible) chase backend.  The SAT path consumed no
+             randomness, so the fallback sees exactly the rng stream the
+             chase backend would have. *)
+          Supervise.record_degradation ~stage:"cfd_checking" ~from_:"sat"
+            ~to_:"chase" ~reason:(Guard.reason_to_string r);
+          via_chase ())

@@ -49,6 +49,7 @@ val consistent_rel_sat :
 
 val consistent_rel :
   ?backend:backend ->
+  ?policy:Supervise.Policy.t ->
   ?budget:Guard.t ->
   ?engine:Chase.engine ->
   ?avoid:Value.t list ->
@@ -59,4 +60,9 @@ val consistent_rel :
   rel:string ->
   Template.tuple option
 (** Uniform front-end: the instantiated tuple template τ(rel) satisfying
-    CFD(rel), or [None] if none found (definitely none, for [Sat_backend]). *)
+    CFD(rel), or [None] if none found (definitely none, for [Sat_backend]).
+    When [policy] (default: the ambient {!Supervise.Policy}) allows
+    degradation and the SAT backend raises an injected fault while the
+    shared [budget] is intact, the call falls back to the chase backend
+    (the SAT -> chase ladder rung) and records the step on the
+    degradation trail. *)

@@ -1,5 +1,6 @@
 open Conddep_relational
 open Conddep_core
+open Conddep_chase
 
 (* Algorithm Checking (Fig 9): preProcessing first; when it has no
    definitive answer, run RandomChecking on each remaining weakly connected
@@ -12,6 +13,8 @@ type result =
   | Consistent of Database.t
   | Inconsistent
   | Unknown of Guard.reason
+
+let () = Guard.register_probe "checking.check"
 
 let m_calls = Telemetry.counter "checking.calls" ~doc:"top-level Checking invocations"
 let m_consistent = Telemetry.counter "checking.results_consistent" ~doc:"Checking answers with a verified witness"
@@ -124,21 +127,100 @@ let check_race ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
           Unknown (match r1 with Guard.Fuel -> r2 | _ -> r1))
   | _ -> assert false
 
-let check ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ~rng schema
+(* The degradation ladder, driven by [Supervise.Policy].  Rungs, fastest
+   first; every rung is verdict-identical to the ones below it (the race
+   merge is deterministic, and delta-vs-naive chase runs follow one
+   canonical schedule):
+
+     parallel race (jobs >= 2)  ->  sequential pipeline  ->  naive chase
+
+   Within a rung, transient failures (injected faults, a local allocation
+   ceiling — never deterministic heuristic give-ups, which re-run
+   identically) are retried by [Supervise.with_retry]; each attempt
+   replays a snapshot of the entry rng, so a fault-free re-run yields the
+   bit-identical verdict the fault-free run would have produced at any
+   jobs count.  When retries run out, the ladder steps down one rung and
+   records the step on the degradation trail; the last rung's answer is
+   final.  The SAT -> chase rung lives below, in
+   [Cfd_checking.consistent_rel]. *)
+let check ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ?policy ~rng schema
     (sigma : Sigma.nf) =
   Telemetry.incr m_calls;
   let budget = Guard.resolve budget in
+  let policy = Supervise.Policy.resolve policy in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
   Telemetry.with_span "checking.check" @@ fun () ->
-  let result =
+  let run_once ~jobs ~engine rng =
     match backend with
     | None when jobs >= 2 ->
         check_race ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma
     | _ ->
         pipeline ?backend ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema
           sigma
+  in
+  let result =
+    if policy.Supervise.Policy.retries = 0 && not policy.Supervise.Policy.degrade
+    then
+      (* Supervision off: exactly the historical path (and rng use), so
+         unsupervised callers and the 0-fault hot path pay nothing. *)
+      run_once ~jobs ~engine rng
+    else begin
+      (* Snapshot before anything else touches the stream: every attempt
+         on every rung replays the same generator state. *)
+      let rng0 = Rng.copy rng in
+      let transient r =
+        match r with
+        | Guard.Fault _ | Guard.Memory -> Guard.state budget = None
+        | Guard.Deadline | Guard.Fuel | Guard.Cancelled -> false
+      in
+      let rungs =
+        (if backend = None && jobs >= 2 then [ (jobs, engine, "parallel") ]
+         else [])
+        @ [ (1, engine, "sequential") ]
+        @
+        match Chase.resolve_engine engine with
+        | `Naive -> []
+        | `Delta -> [ (1, Some `Naive, "naive-chase") ]
+      in
+      let rec walk = function
+        | [] -> assert false
+        | (rung_jobs, rung_engine, name) :: rest -> (
+            let degrade_to reason =
+              match rest with
+              | (_, _, next) :: _ when policy.Supervise.Policy.degrade ->
+                  Supervise.record_degradation ~stage:"checking" ~from_:name
+                    ~to_:next ~reason;
+                  Some (walk rest)
+              | _ -> None
+            in
+            match
+              Supervise.with_retry ~policy ~rng ~budget (fun ~attempt:_ ->
+                  match
+                    run_once ~jobs:rung_jobs ~engine:rung_engine
+                      (Rng.copy rng0)
+                  with
+                  | (Consistent _ | Inconsistent) as v -> Supervise.Done v
+                  | Unknown r when transient r -> Supervise.Transient r
+                  | Unknown _ as v -> Supervise.Done v)
+            with
+            | Ok v -> v
+            | Error r -> (
+                match degrade_to (Guard.reason_to_string r) with
+                | Some v -> v
+                | None -> Unknown r)
+            | exception e -> (
+                (* A non-Exhausted exception out of a rung (e.g. a pool
+                   failure the rescue path could not absorb) degrades
+                   like a fault; on the last rung it propagates as the
+                   internal error it is. *)
+                match degrade_to (Printexc.to_string e) with
+                | Some v -> v
+                | None -> raise e))
+      in
+      walk rungs
+    end
   in
   (match result with
   | Consistent _ -> Telemetry.incr m_consistent

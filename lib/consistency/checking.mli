@@ -23,6 +23,7 @@ val check :
   ?k:int ->
   ?k_cfd:int ->
   ?jobs:int ->
+  ?policy:Supervise.Policy.t ->
   rng:Rng.t ->
   Db_schema.t ->
   Sigma.nf ->
@@ -36,7 +37,20 @@ val check :
     K_CFD-bounded) is reported only when the SAT side ends [Unknown].  The
     remaining jobs fan each pipeline's RandomChecking runs.  With a forced
     [backend], [jobs] only parallelises RandomChecking (whose verdict is
-    seed-deterministic at any jobs count). *)
+    seed-deterministic at any jobs count).
+
+    [policy] (default: the ambient {!Supervise.Policy}, itself off unless
+    the caller — e.g. [cindtool] — enables it) supervises the run.
+    Transient failures (injected faults, a local allocation ceiling) are
+    retried with the same rng snapshot, so a fault-free re-run yields the
+    bit-identical fault-free verdict; when retries run out the ladder
+    degrades [parallel -> sequential -> naive-chase] (each rung
+    verdict-identical, each step recorded on the
+    {!Supervise.degradation_trail}).  Deterministic give-ups — [Unknown
+    Fuel] from the paper's K / K_CFD caps, shared deadline or fuel
+    exhaustion — are never retried: re-running them is wasted work that
+    cannot change the answer.  With supervision off, the historical
+    behaviour (and rng consumption) is preserved exactly. *)
 
 val to_bool : result -> bool
 (** The paper's boolean answer: [true] only for [Consistent]. *)

@@ -21,6 +21,8 @@ type result =
   | Unknown of (string list * Sigma.nf) list
       (* weakly connected components with their (extended) constraints *)
 
+let () = Guard.register_probe "checking.preprocess"
+
 let m_runs = Telemetry.counter "checking.preprocess.runs" ~doc:"preProcessing invocations"
 let m_sccs = Telemetry.counter "checking.preprocess.sccs" ~doc:"strongly connected components in the dependency graphs processed"
 let m_pruned_inconsistent = Telemetry.counter "checking.preprocess.pruned_inconsistent" ~doc:"vertices deleted because CFD(R) is inconsistent"

@@ -17,6 +17,8 @@ type result =
   | Consistent of Database.t
   | Unknown of Guard.reason
 
+let () = Guard.register_probe "checking.random"
+
 let m_runs = Telemetry.counter "checking.random.runs" ~doc:"RandomChecking chase runs attempted (K budget consumed)"
 let m_successes = Telemetry.counter "checking.random.successes" ~doc:"RandomChecking runs ending in a verified witness"
 

@@ -1,5 +1,7 @@
 open Conddep_relational
 
+let () = Guard.register_probe "cfd_consistency.witness"
+
 (* Exact consistency analysis for CFDs ([9]; reviewed in Section 4).
 
    A set of CFDs on relation R is satisfiable by a nonempty instance iff it

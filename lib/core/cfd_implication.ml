@@ -1,5 +1,7 @@
 open Conddep_relational
 
+let () = Guard.register_probe "cfd_implication.implies"
+
 (* Exact CFD implication (coNP-complete, [9]; Table 1).
 
    Σ ⊭ φ iff some model of Σ violates φ; since a violation involves at most

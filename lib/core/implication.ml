@@ -1,5 +1,7 @@
 open Conddep_relational
 
+let () = Guard.register_probe "implication.implies"
+
 (* Exact decision procedure for CIND implication (Σ |= ψ), Theorems 3.4 and
    3.5.
 

@@ -248,7 +248,12 @@ type fault =
   | Raise
   | Stall of float
 
-type armed = { mutable countdown : int; mode : fault; env_only : bool }
+type armed = {
+  mutable countdown : int;
+  mutable remaining : int; (* fires left; [max_int] = unlimited *)
+  mode : fault;
+  env_only : bool;
+}
 
 (* site -> armed entry; the wildcard site "*" matches everything.  Probes
    fire from worker domains, so every table access goes through one mutex
@@ -262,11 +267,34 @@ let with_faults f =
 let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
 let sites_tbl : (string, unit) Hashtbl.t = Hashtbl.create 32
 
-let arm_internal ~env_only ~site ~after mode =
-  with_faults @@ fun () ->
-  Hashtbl.replace armed_tbl site { countdown = after; mode; env_only }
+(* The probe registry: modules declare their sites at initialisation time,
+   so sweeps ([GUARD_FAULTS=all], the chaos harness) can enumerate every
+   site without a hand-maintained list.  A probe that fires before being
+   registered is a wiring bug — it is recorded and surfaced through
+   [unregistered_probes] for the test suite to assert empty. *)
+let registered_tbl : (string, unit) Hashtbl.t = Hashtbl.create 32
+let unregistered_tbl : (string, unit) Hashtbl.t = Hashtbl.create 8
 
-let arm ~site ?(after = 0) mode = arm_internal ~env_only:false ~site ~after mode
+let register_probe site =
+  with_faults @@ fun () -> Hashtbl.replace registered_tbl site ()
+
+let all_probes () =
+  with_faults @@ fun () ->
+  Hashtbl.fold (fun s () acc -> s :: acc) registered_tbl []
+  |> List.sort String.compare
+
+let unregistered_probes () =
+  with_faults @@ fun () ->
+  Hashtbl.fold (fun s () acc -> s :: acc) unregistered_tbl []
+  |> List.sort String.compare
+
+let arm_internal ~env_only ~site ~after ~times mode =
+  with_faults @@ fun () ->
+  Hashtbl.replace armed_tbl site
+    { countdown = after; remaining = times; mode; env_only }
+
+let arm ~site ?(after = 0) ?(times = max_int) mode =
+  arm_internal ~env_only:false ~site ~after ~times:(max 0 times) mode
 
 (* Small deterministic hash (FNV-1a over the seed then the site name):
    seed-driven sweeps get a per-site countdown without any global RNG. *)
@@ -294,7 +322,11 @@ let probe ?budget site =
   let governed = (resolve budget).governed in
   let action =
     with_faults @@ fun () ->
-    if not (Hashtbl.mem sites_tbl site) then Hashtbl.replace sites_tbl site ();
+    if not (Hashtbl.mem sites_tbl site) then begin
+      Hashtbl.replace sites_tbl site ();
+      if not (Hashtbl.mem registered_tbl site) then
+        Hashtbl.replace unregistered_tbl site ()
+    end;
     if Hashtbl.length armed_tbl = 0 then None
     else
       let entry =
@@ -311,7 +343,11 @@ let probe ?budget site =
             e.countdown <- e.countdown - 1;
             None
           end
-          else Some e.mode
+          else if e.remaining <= 0 then None (* transient fault, used up *)
+          else begin
+            if e.remaining <> max_int then e.remaining <- e.remaining - 1;
+            Some e.mode
+          end
   in
   match action with
   | None -> ()
@@ -359,5 +395,7 @@ let () =
           |> List.filter (fun s -> s <> "")
       in
       List.iter
-        (fun site -> arm_internal ~env_only:true ~site ~after:(after site) mode)
+        (fun site ->
+          arm_internal ~env_only:true ~site ~after:(after site) ~times:max_int
+            mode)
         sites

@@ -144,9 +144,12 @@ type fault =
   | Raise  (** raise [Exhausted (Fault site)] at the probe *)
   | Stall of float  (** sleep this many seconds, then continue *)
 
-val arm : site:string -> ?after:int -> fault -> unit
+val arm : site:string -> ?after:int -> ?times:int -> fault -> unit
 (** Arm one site ([after] probe hits are let through first, default 0).
-    [site = "*"] arms every site. *)
+    [times] bounds how often the fault fires before going dormant
+    (default: unlimited) — a finite count models a {e transient} fault
+    that a supervised retry can get past.  [site = "*"] arms every
+    site. *)
 
 val arm_seeded : seed:int -> sites:string list -> unit
 (** Deterministic seed-driven sweep arming: each site gets a [Raise] fault
@@ -161,3 +164,22 @@ val probe : ?budget:t -> string -> unit
 
 val known_sites : unit -> string list
 (** Every site probed so far in this process, sorted. *)
+
+(** {1 Probe registry}
+
+    Probing modules declare their sites at module-initialisation time with
+    {!register_probe}, so sweeps ([GUARD_FAULTS=all], [cindtool chaos])
+    can enumerate every site from {!all_probes} instead of a
+    hand-maintained list.  A probe that fires without having been
+    registered is a wiring bug: it is recorded and reported by
+    {!unregistered_probes}, which the test suite asserts empty. *)
+
+val register_probe : string -> unit
+(** Declare a probe site.  Idempotent; call at module-initialisation
+    time, before the site can be probed. *)
+
+val all_probes : unit -> string list
+(** Every registered site, sorted. *)
+
+val unregistered_probes : unit -> string list
+(** Sites that were probed without a prior {!register_probe}, sorted. *)

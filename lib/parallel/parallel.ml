@@ -9,7 +9,16 @@
    runs a batch of non-raising thunks to completion: results and errors
    travel through per-batch arrays, synchronised by the batch countdown
    (mutex + condition), which is also the happens-before edge that lets
-   the caller read worker-written slots after the join. *)
+   the caller read worker-written slots after the join.
+
+   Crash isolation: a task whose worker-level wrapper dies never poisons
+   the pool — the slot is marked crashed and re-run inline on the caller
+   after the join ("rescue"; the [parallel.worker] probe fires before the
+   unit body, so a crashed slot has not started).  A worker domain that
+   dies between tasks is respawned by its own exit handler, up to a cap.
+   K consecutive worker-level faults trip a circuit breaker that routes
+   every later batch to the caller's inline loop — the pool's own
+   parallel-to-sequential degradation. *)
 
 let m_pools = Telemetry.counter "parallel.pools" ~doc:"domain pools created"
 
@@ -21,6 +30,26 @@ let m_tasks = Telemetry.counter "parallel.tasks" ~doc:"tasks executed by pool ru
 let m_cancels =
   Telemetry.counter "parallel.cancel_signals"
     ~doc:"loser tokens cancelled by racing combinators"
+
+let m_task_faults =
+  Telemetry.counter "parallel.tasks_crashed"
+    ~doc:"tasks whose worker-level wrapper caught an exception"
+
+let m_rescued =
+  Telemetry.counter "parallel.tasks_rescued"
+    ~doc:"crashed tasks re-run inline on the submitting caller"
+
+let m_respawns =
+  Telemetry.counter "parallel.worker_respawns"
+    ~doc:"worker domains respawned after dying between tasks"
+
+let m_breaker_trips =
+  Telemetry.counter "parallel.breaker_trips"
+    ~doc:"pool circuit breakers tripped to inline execution"
+
+let () =
+  List.iter Guard.register_probe
+    [ "parallel.task"; "parallel.worker"; "parallel.worker.loop"; "parallel.pool.shutdown" ]
 
 (* --- default job count --- *)
 
@@ -52,12 +81,54 @@ type pool = {
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
   mutable shut : bool;
+  breaker_after : int;
+  max_respawns : int;
+  breaker : bool Atomic.t;
+  consecutive_faults : int Atomic.t;
+  mutable respawns : int; (* under [mutex] *)
+  mutable exhaustion : Guard.reason option;
+      (* first worker-level exhaustion seen, under [mutex]; preserved
+         across teardown so shutdown cannot lose an in-flight reason *)
 }
+
+let trip_breaker pool why =
+  if Atomic.compare_and_set pool.breaker false true then begin
+    Telemetry.incr m_breaker_trips;
+    Supervise.record_degradation ~stage:"parallel.pool" ~from_:"domains"
+      ~to_:"inline" ~reason:why
+  end
+
+let note_exhaustion pool e =
+  match e with
+  | Guard.Exhausted r ->
+      Mutex.lock pool.mutex;
+      if pool.exhaustion = None then pool.exhaustion <- Some r;
+      Mutex.unlock pool.mutex
+  | _ -> ()
+
+let note_task_fault pool e =
+  Telemetry.incr m_task_faults;
+  note_exhaustion pool e;
+  let faults = 1 + Atomic.fetch_and_add pool.consecutive_faults 1 in
+  if faults >= pool.breaker_after then
+    trip_breaker pool
+      (match e with
+      | Guard.Exhausted r -> Guard.reason_to_string r
+      | e -> Printexc.to_string e)
+
+let note_task_ok pool =
+  if Atomic.get pool.consecutive_faults <> 0 then
+    Atomic.set pool.consecutive_faults 0
 
 (* Workers drain the queue even after [stopped] is set, so a batch in
    flight when shutdown begins still completes rather than hanging its
    joiner. *)
 let rec worker pool =
+  (* The crash-injection point for the domain itself: it sits before the
+     take, so a dying worker never holds a task — batch wrappers are
+     total, which is what keeps joins hang-free however many workers
+     die. *)
+  Guard.probe "parallel.worker.loop";
   (* The idle wait is a span of its own: in a trace it shows each worker
      track alternating wait/run, which is exactly the fan-out efficiency
      picture BENCH_parallel.json cannot show.  The span body ends after
@@ -78,8 +149,42 @@ let rec worker pool =
       t ();
       worker pool
 
-let create ~jobs =
+(* The supervisor: each worker domain runs under an exit handler that, if
+   the worker died (rather than drained and stopped), respawns a
+   replacement — unless the pool is stopping, the breaker has tripped, or
+   the respawn cap is hit (then the death counts toward the breaker). *)
+let rec spawn_worker pool =
+  Telemetry.incr m_domains;
+  Domain.spawn (fun () ->
+      try worker pool with e -> on_worker_death pool e)
+
+and on_worker_death pool e =
+  note_exhaustion pool e;
+  let faults = 1 + Atomic.fetch_and_add pool.consecutive_faults 1 in
+  Mutex.lock pool.mutex;
+  let respawn =
+    (not pool.stopped)
+    && (not (Atomic.get pool.breaker))
+    && pool.respawns < pool.max_respawns
+  in
+  if respawn then begin
+    pool.respawns <- pool.respawns + 1;
+    Telemetry.incr m_respawns;
+    (* Spawn while holding the mutex: shutdown sets [stopped] and snapshots
+       [domains] under the same lock, so a replacement is either visible to
+       the join or never created. *)
+    pool.domains <- spawn_worker pool :: pool.domains
+  end;
+  Mutex.unlock pool.mutex;
+  if (not respawn) && faults >= pool.breaker_after then
+    trip_breaker pool
+      (match e with
+      | Guard.Exhausted r -> Guard.reason_to_string r
+      | e -> Printexc.to_string e)
+
+let create ?(breaker_after = 4) ?max_respawns ~jobs () =
   Telemetry.incr m_pools;
+  let n = max 0 (jobs - 1) in
   let pool =
     {
       mutex = Mutex.create ();
@@ -88,14 +193,29 @@ let create ~jobs =
       stopped = false;
       domains = [];
       shut = false;
+      breaker_after = max 1 breaker_after;
+      max_respawns = (match max_respawns with Some m -> max 0 m | None -> 2 * max 1 n);
+      breaker = Atomic.make false;
+      consecutive_faults = Atomic.make 0;
+      respawns = 0;
+      exhaustion = None;
     }
   in
-  let n = max 0 (jobs - 1) in
-  pool.domains <-
-    List.init n (fun _ ->
-        Telemetry.incr m_domains;
-        Domain.spawn (fun () -> worker pool));
+  pool.domains <- List.init n (fun _ -> spawn_worker pool);
   pool
+
+let breaker_tripped pool = Atomic.get pool.breaker
+let respawn_count pool =
+  Mutex.lock pool.mutex;
+  let r = pool.respawns in
+  Mutex.unlock pool.mutex;
+  r
+
+let last_exhaustion pool =
+  Mutex.lock pool.mutex;
+  let r = pool.exhaustion in
+  Mutex.unlock pool.mutex;
+  r
 
 let shutdown pool =
   if not pool.shut then
@@ -107,15 +227,32 @@ let shutdown pool =
         Mutex.lock pool.mutex;
         pool.stopped <- true;
         Condition.broadcast pool.nonempty;
-        Mutex.unlock pool.mutex;
+        (* Snapshot under the lock: [stopped] is set, so no dying worker
+           can register a respawn this join would miss. *)
         let ds = pool.domains in
         pool.domains <- [];
         pool.shut <- true;
+        Mutex.unlock pool.mutex;
+        (* Drain on the caller: batch wrappers are total and counted, so
+           running leftovers here completes their batch and preserves an
+           in-flight exhaustion instead of abandoning it with the
+           workers. *)
+        let rec drain () =
+          Mutex.lock pool.mutex;
+          let t = Queue.take_opt pool.queue in
+          Mutex.unlock pool.mutex;
+          match t with
+          | Some t ->
+              t ();
+              drain ()
+          | None -> ()
+        in
+        drain ();
         List.iter Domain.join ds)
       (fun () -> Guard.probe "parallel.pool.shutdown")
 
 let with_pool ~jobs f =
-  let pool = create ~jobs in
+  let pool = create ~jobs () in
   match f pool with
   | v ->
       shutdown pool;
@@ -130,23 +267,47 @@ let with_pool ~jobs f =
 
 (* Run every thunk (they must not raise — combinators capture into their
    own arrays) and return once all have completed.  Tasks run under the
-   submitting caller's ambient budget, whichever domain picks them up. *)
+   submitting caller's ambient budget, whichever domain picks them up.
+   Worker-level failures (the [parallel.worker] probe, or anything else
+   that escapes the wrapper) mark the slot crashed; crashed slots are
+   re-run inline on the caller after the join, so no task is ever lost
+   and a sticky exhaustion surfaces on the caller instead of dying with
+   the worker. *)
 let exec_units pool units =
   let n = Array.length units in
   if n > 0 then begin
     let amb = Guard.ambient () in
-    let wrap u () =
-      Telemetry.incr m_tasks;
-      Telemetry.with_span "parallel.task.run" (fun () ->
-          try Guard.with_ambient amb u with _ -> ())
-    in
-    if pool.domains = [] then Array.iter (fun u -> wrap u ()) units
+    if pool.domains = [] || Atomic.get pool.breaker then
+      (* Inline (and post-breaker) path: the caller runs everything; there
+         is no worker wrapper to crash, so no rescue pass is needed. *)
+      Array.iter
+        (fun u ->
+          Telemetry.incr m_tasks;
+          Telemetry.with_span "parallel.task.run" u)
+        units
     else begin
+      let crashed = Array.make n false in
+      let wrap i u () =
+        Telemetry.incr m_tasks;
+        Telemetry.with_span "parallel.task.run" (fun () ->
+            match
+              Guard.with_ambient amb (fun () ->
+                  (* Worker-crash injection point: before the unit body,
+                     so a crashed slot never started and the rescue below
+                     cannot double-run effects. *)
+                  Guard.probe "parallel.worker";
+                  u ())
+            with
+            | () -> note_task_ok pool
+            | exception e ->
+                crashed.(i) <- true;
+                note_task_fault pool e)
+      in
       let batch_mutex = Mutex.create () in
       let batch_done = Condition.create () in
       let remaining = ref n in
-      let counted u () =
-        wrap u ();
+      let counted i () =
+        wrap i units.(i) ();
         Mutex.lock batch_mutex;
         decr remaining;
         if !remaining = 0 then Condition.broadcast batch_done;
@@ -154,11 +315,11 @@ let exec_units pool units =
       in
       Mutex.lock pool.mutex;
       for i = 1 to n - 1 do
-        Queue.push (counted units.(i)) pool.queue
+        Queue.push (counted i) pool.queue
       done;
       Condition.broadcast pool.nonempty;
       Mutex.unlock pool.mutex;
-      counted units.(0) ();
+      counted 0 ();
       (* Help-first join: keep taking queued tasks; only block once the
          queue is empty and our stragglers are running elsewhere. *)
       let rec help () =
@@ -177,7 +338,17 @@ let exec_units pool units =
                 done;
                 Mutex.unlock batch_mutex)
       in
-      help ()
+      help ();
+      (* Rescue pass: crashed slots re-run in index order on the caller
+         (already under its own ambient), so results stay deterministic
+         and complete even when every worker-level run failed. *)
+      Array.iteri
+        (fun i u ->
+          if crashed.(i) then begin
+            Telemetry.incr m_rescued;
+            u ()
+          end)
+        units
     end
   end
 
@@ -225,7 +396,7 @@ let first_success pool f xs =
       let arr = Array.of_list xs in
       let n = Array.length arr in
       let tokens = Array.init n (fun _ -> Guard.token ()) in
-      if pool.domains = [] then begin
+      if pool.domains = [] || Atomic.get pool.breaker then begin
         (* Inline path IS the sequential loop the parallel path must
            reproduce: evaluate in index order, stop at the first Some. *)
         let rec go i =

@@ -24,7 +24,25 @@
     short-lived (create, fan out, {!shutdown}) or scoped via {!with_pool}.
     [jobs = 1] never spawns a domain — everything runs inline on the
     caller, which is also the fallback wherever determinism is easier to
-    see sequentially. *)
+    see sequentially.
+
+    {b Crash isolation.}  A task whose worker-level wrapper fails (the
+    [parallel.worker] probe, or any exception escaping the task plumbing)
+    never poisons the pool: the slot is marked and re-run inline on the
+    submitting caller after the join ("rescue"), so combinators still
+    return complete, deterministic results — task failure stays a
+    per-slot [Error]/exception story, pool failure does not exist as an
+    outcome.  A worker domain that dies between tasks (the
+    [parallel.worker.loop] probe sits before the queue take, so a dying
+    domain never holds a task) respawns a replacement, up to a cap.  K
+    consecutive worker-level faults trip a {e circuit breaker}
+    ([breaker_after], default 4) that routes every subsequent batch to
+    the caller's inline sequential loop and records a
+    [parallel.pool: domains -> inline] step on the {!Supervise}
+    degradation trail.  First worker-level exhaustion is preserved in
+    the pool ({!last_exhaustion}) across {!shutdown} — teardown drains
+    the queue on the caller rather than abandoning counted batch
+    wrappers. *)
 
 type pool
 
@@ -37,14 +55,30 @@ val default_jobs : unit -> int
 val set_default_jobs : int -> unit
 (** Override {!default_jobs} for this process (clamped to [>= 1]). *)
 
-val create : jobs:int -> pool
+val create : ?breaker_after:int -> ?max_respawns:int -> jobs:int -> unit -> pool
 (** Spawn [jobs - 1] worker domains (the submitting caller is the [jobs]-th
     worker during {!map}/{!first_success}).  [jobs <= 1] creates an inline
-    pool with no domains. *)
+    pool with no domains.  [breaker_after] (default 4) is the number of
+    {e consecutive} worker-level faults that trips the circuit breaker;
+    [max_respawns] (default [2 * (jobs - 1)]) caps how many replacement
+    domains the supervisor may spawn over the pool's lifetime. *)
 
 val shutdown : pool -> unit
-(** Stop the workers and join their domains.  Idempotent — a second call
-    (including from a [Fun.protect] finaliser after a fault) is a no-op. *)
+(** Stop the workers, drain any still-queued batch tasks on the caller
+    (preserving an in-flight exhaustion instead of losing it with the
+    workers), and join every domain — including supervisor respawns.
+    Idempotent — a second call (including from a [Fun.protect] finaliser
+    after a fault) is a no-op. *)
+
+val breaker_tripped : pool -> bool
+(** Has the circuit breaker routed this pool to inline execution? *)
+
+val respawn_count : pool -> int
+(** Worker domains respawned by the supervisor so far. *)
+
+val last_exhaustion : pool -> Guard.reason option
+(** The first worker-level exhaustion seen by this pool, if any; survives
+    {!shutdown}. *)
 
 val with_pool : jobs:int -> (pool -> 'a) -> 'a
 (** [with_pool ~jobs f] scopes a pool around [f]; {!shutdown} always runs. *)

@@ -8,6 +8,8 @@ type result =
   | Unsat
   | Unknown of Guard.reason (* search stopped by a budget, limit or fault *)
 
+let () = Guard.register_probe "sat.solve"
+
 let m_solves = Telemetry.counter "sat.solve_calls" ~doc:"CNF instances handed to the DPLL solver"
 let m_decisions = Telemetry.counter "sat.decisions" ~doc:"branching decisions"
 let m_propagations = Telemetry.counter "sat.propagations" ~doc:"literals assigned by unit propagation"

@@ -1,0 +1,134 @@
+(* Resilience layer between Guard and the engines: retry with
+   deterministic fuel-slice backoff, the process supervision policy, and
+   the degradation trail.  See supervise.mli for the contract. *)
+
+let m_retries =
+  Telemetry.counter "supervise.retries"
+    ~doc:"supervised re-attempts after a transient exhaustion"
+
+let m_gave_up =
+  Telemetry.counter "supervise.gave_up"
+    ~doc:"supervised operations that exhausted their retry allowance"
+
+let m_degraded =
+  Telemetry.counter "supervise.degraded"
+    ~doc:"ladder fallbacks to a slower verdict-identical path"
+
+module Policy = struct
+  type t = { retries : int; degrade : bool }
+
+  let default = { retries = 0; degrade = false }
+  let supervised = { retries = 1; degrade = true }
+
+  (* Process-global, not domain-local: the CLI sets it once before any
+     fan-out, and pool workers must see the same policy as the
+     submitting caller. *)
+  let cell = Atomic.make default
+  let ambient () = Atomic.get cell
+  let set_ambient p = Atomic.set cell p
+
+  let with_ambient p f =
+    let saved = Atomic.get cell in
+    Atomic.set cell p;
+    Fun.protect ~finally:(fun () -> Atomic.set cell saved) f
+
+  let resolve = function Some p -> p | None -> ambient ()
+end
+
+(* --- degradation trail --- *)
+
+type degradation = {
+  d_stage : string;
+  d_from : string;
+  d_to : string;
+  d_reason : string;
+}
+
+let trail_mutex = Mutex.create ()
+let trail_rev : degradation list ref = ref []
+
+let record_degradation ~stage ~from_ ~to_ ~reason =
+  Telemetry.incr m_degraded;
+  Mutex.lock trail_mutex;
+  trail_rev := { d_stage = stage; d_from = from_; d_to = to_; d_reason = reason } :: !trail_rev;
+  Mutex.unlock trail_mutex
+
+let degradation_trail () =
+  Mutex.lock trail_mutex;
+  let t = List.rev !trail_rev in
+  Mutex.unlock trail_mutex;
+  t
+
+let clear_trail () =
+  Mutex.lock trail_mutex;
+  trail_rev := [];
+  Mutex.unlock trail_mutex
+
+let pp_degradation ppf d =
+  Format.fprintf ppf "%s: %s -> %s (%s)" d.d_stage d.d_from d.d_to d.d_reason
+
+(* --- retry --- *)
+
+type 'a attempt =
+  | Done of 'a
+  | Transient of Guard.reason
+
+let transient ~shared r =
+  match r with
+  | Guard.Fault _ | Guard.Memory -> Guard.state shared = None
+  | Guard.Deadline | Guard.Fuel | Guard.Cancelled -> false
+
+type backoff = {
+  base_cost : int;
+  multiplier : int;
+  max_cost : int;
+  jitter : int;
+}
+
+let default_backoff = { base_cost = 64; multiplier = 2; max_cost = 4096; jitter = 16 }
+
+let with_retry ?policy ?(backoff = default_backoff) ?rng ~budget f =
+  let policy = Policy.resolve policy in
+  let slice attempt =
+    (* Capped exponential in the attempt number, plus deterministic
+       rng-seeded jitter — fuel, not wall clock, so tests stay fast and
+       a near-dry budget turns the backoff into the give-up it is. *)
+    let rec grow c n =
+      if n <= 0 || c >= backoff.max_cost then min c backoff.max_cost
+      else grow (c * max 1 backoff.multiplier) (n - 1)
+    in
+    let base = grow (max 1 backoff.base_cost) attempt in
+    let jit =
+      match rng with
+      | Some rng when backoff.jitter > 0 -> Rng.int rng (backoff.jitter + 1)
+      | _ -> 0
+    in
+    base + jit
+  in
+  let run attempt =
+    let body () = try f ~attempt with Guard.Exhausted r -> Transient r in
+    if attempt = 0 then body ()
+    else Telemetry.with_span "supervise.retry" body
+  in
+  let rec go attempt =
+    match run attempt with
+    | Done v -> Ok v
+    | Transient r ->
+        if attempt >= policy.Policy.retries || Guard.state budget <> None then begin
+          Telemetry.incr m_gave_up;
+          Error (match Guard.state budget with Some r' -> r' | None -> r)
+        end
+        else begin
+          Telemetry.incr m_retries;
+          (* Backoff against the shared budget; if the slice spends it,
+             report the budget's own (sticky) reason instead of r. *)
+          (try Guard.tick ~cost:(slice attempt) budget
+           with Guard.Exhausted _ -> ());
+          match Guard.state budget with
+          | Some r' ->
+              Telemetry.incr m_gave_up;
+              Error r'
+          | None -> go (attempt + 1)
+        end
+  in
+  go 0

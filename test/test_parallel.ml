@@ -94,7 +94,7 @@ let test_race_losers_cancelled () =
 (* --- shutdown: idempotent, also mid-fault ------------------------------------ *)
 
 let test_shutdown_idempotent () =
-  let pool = Parallel.create ~jobs:3 in
+  let pool = Parallel.create ~jobs:3 () in
   ignore (Parallel.map pool Fun.id [ 1; 2; 3 ]);
   Parallel.shutdown pool;
   Parallel.shutdown pool;
@@ -105,7 +105,7 @@ let test_shutdown_fault_injection () =
   (* A fault armed at the shutdown probe must not leak worker domains or
      break idempotence: the raise surfaces, the finaliser still joins the
      workers, and a repeat call is a clean no-op. *)
-  let pool = Parallel.create ~jobs:3 in
+  let pool = Parallel.create ~jobs:3 () in
   Guard.arm ~site:"parallel.pool.shutdown" Guard.Raise;
   (Fun.protect ~finally:Guard.disarm_all @@ fun () ->
    match Parallel.shutdown pool with
@@ -123,6 +123,75 @@ let test_with_pool_fault_preserves_failure () =
   match Parallel.with_pool ~jobs:2 (fun _ -> failwith "body") with
   | (_ : unit) -> Alcotest.fail "body raises"
   | exception Failure s -> check_string "original failure wins" "body" s
+
+(* --- crash isolation: rescue, breaker, respawn ------------------------------- *)
+
+let test_crashed_tasks_rescued_and_breaker_trips () =
+  (* every worker-level wrapper faults: each slot is rescued inline on the
+     caller, results stay complete and ordered, and the run of consecutive
+     faults trips the breaker to inline execution *)
+  Supervise.clear_trail ();
+  let pool = Parallel.create ~jobs:4 ~breaker_after:2 () in
+  Fun.protect ~finally:(fun () -> Guard.disarm_all (); Parallel.shutdown pool)
+  @@ fun () ->
+  Guard.arm ~site:"parallel.worker" Guard.Raise;
+  let xs = List.init 12 Fun.id in
+  let expect = List.map (fun i -> i * 7) xs in
+  Alcotest.(check (list int))
+    "all tasks complete despite crashing workers" expect
+    (Parallel.map pool (fun i -> i * 7) xs);
+  check_bool "breaker tripped" true (Parallel.breaker_tripped pool);
+  check_bool "pool degradation recorded" true
+    (List.exists
+       (fun d -> d.Supervise.d_stage = "parallel.pool")
+       (Supervise.degradation_trail ()));
+  (* post-breaker batches run inline: correct without any rescue *)
+  Alcotest.(check (list int))
+    "post-breaker map still correct" expect
+    (Parallel.map pool (fun i -> i * 7) xs);
+  (match Parallel.last_exhaustion pool with
+  | Some (Guard.Fault s) -> check_string "exhaustion site" "parallel.worker" s
+  | other ->
+      Alcotest.failf "expected Fault, got %s"
+        (match other with
+        | None -> "none"
+        | Some r -> Guard.reason_to_string r))
+
+let test_exhaustion_survives_shutdown () =
+  (* the sticky reason must not be lost when the pool is torn down with
+     the fault still in flight — the bug class this accessor exists for *)
+  let pool = Parallel.create ~jobs:2 () in
+  Guard.arm ~site:"parallel.worker" ~after:0 ~times:1 Guard.Raise;
+  (Fun.protect ~finally:Guard.disarm_all @@ fun () ->
+   ignore (Parallel.map pool Fun.id (List.init 8 Fun.id)));
+  Parallel.shutdown pool;
+  match Parallel.last_exhaustion pool with
+  | Some (Guard.Fault s) ->
+      check_string "reason preserved across shutdown" "parallel.worker" s
+  | _ -> Alcotest.fail "exhaustion reason lost in teardown"
+
+let test_dead_workers_respawn () =
+  (* two fires at the worker-loop probe kill two domains between tasks;
+     the supervisor must respawn both and the pool keeps working *)
+  Guard.arm ~site:"parallel.worker.loop" ~after:0 ~times:2 Guard.Raise;
+  let pool = Parallel.create ~jobs:3 () in
+  Fun.protect ~finally:(fun () -> Guard.disarm_all (); Parallel.shutdown pool)
+  @@ fun () ->
+  (* deaths happen asynchronously in the dying domains' exit handlers;
+     poll briefly (bounded at ~5s so a broken supervisor fails, not hangs) *)
+  let rec await n =
+    if Parallel.respawn_count pool < 2 && n > 0 then begin
+      Unix.sleepf 0.001;
+      await (n - 1)
+    end
+  in
+  await 5_000;
+  check_int "both deaths respawned" 2 (Parallel.respawn_count pool);
+  check_bool "no breaker trip for respawned deaths" false
+    (Parallel.breaker_tripped pool);
+  let xs = List.init 10 Fun.id in
+  Alcotest.(check (list int))
+    "pool still correct after respawns" xs (Parallel.map pool Fun.id xs)
 
 (* --- verdict determinism across jobs counts ---------------------------------- *)
 
@@ -209,6 +278,15 @@ let () =
             test_shutdown_fault_injection;
           Alcotest.test_case "with_pool preserves body failure" `Quick
             test_with_pool_fault_preserves_failure;
+        ] );
+      ( "crash isolation",
+        [
+          Alcotest.test_case "crashed tasks rescued; breaker trips" `Quick
+            test_crashed_tasks_rescued_and_breaker_trips;
+          Alcotest.test_case "exhaustion reason survives shutdown" `Quick
+            test_exhaustion_survives_shutdown;
+          Alcotest.test_case "dead worker domains respawn" `Quick
+            test_dead_workers_respawn;
         ] );
       ( "determinism",
         [
