@@ -1,6 +1,5 @@
 open Conddep_relational
 open Conddep_core
-open Conddep_consistency
 open Conddep_generator
 open Util
 
@@ -36,15 +35,15 @@ let fig10a scale =
         List.iter
           (fun rel ->
             ignore
-              (Cfd_checking.consistent_rel ~backend ~k_cfd:50 ~rng:(Rng.make 1) schema
+              (Cind_api.consistent ~backend ~k_cfd:50 ~rng:(Rng.make 1) schema
                  cfds ~rel))
           rels
       in
       let time_backend backend =
         mean (List.init reps (fun _ -> snd (time (check backend))))
       in
-      let chase_s = time_backend Cfd_checking.Chase_backend in
-      let sat_s = time_backend Cfd_checking.Sat_backend in
+      let chase_s = time_backend Cind_api.Chase_backend in
+      let sat_s = time_backend Cind_api.Sat_backend in
       row "%-14d %-12.4f %-12.4f@." per_rel chase_s sat_s)
 
 (* --- Fig 10(b): chase-based CFD_Checking accuracy vs K_CFD ---------------- *)
@@ -78,9 +77,9 @@ let fig10b scale =
              (fun (rel, expected) ->
                let rel_cfds = List.filter (fun nf -> nf.Cfd.nf_rel = rel) cfds in
                let got =
-                 Cfd_checking.consistent_rel_chase ~k_cfd ~rng:(Rng.make k_cfd) schema
-                   rel_cfds ~rel
-                 <> None
+                 Cind_api.to_bool
+                   (Cind_api.consistent ~backend:Cind_api.Chase_backend ~k_cfd
+                      ~rng:(Rng.make k_cfd) schema rel_cfds ~rel)
                in
                got = expected)
              truth)
@@ -99,12 +98,12 @@ let run_algorithms ~consistent ~scale ~num_constraints seed =
   in
   let random_result, random_s =
     time (fun () ->
-        Random_checking.to_bool
-          (Random_checking.check ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma))
+        Cind_api.to_bool
+          (Cind_api.random_check ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma))
   in
   let checking_result, checking_s =
     time (fun () ->
-        Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma))
+        Cind_api.to_bool (Cind_api.check ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma))
   in
   (random_result, random_s, checking_result, checking_s)
 
@@ -162,12 +161,12 @@ let fig11d scale =
       let sigma = Workload.consistent rng (Workloads.workload_config n) schema in
       let _, random_s =
         time (fun () ->
-            Random_checking.to_bool
-              (Random_checking.check ~k:20 ~rng:(Rng.make 3) schema sigma))
+            Cind_api.to_bool
+              (Cind_api.random_check ~k:20 ~rng:(Rng.make 3) schema sigma))
       in
       let _, checking_s =
         time (fun () ->
-            Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make 3) schema sigma))
+            Cind_api.to_bool (Cind_api.check ~k:20 ~rng:(Rng.make 3) schema sigma))
       in
       row "%-12d %-14d %-14.4f %-14.4f@." nrels n random_s checking_s)
 
@@ -219,8 +218,8 @@ let ablation_pool_size scale =
               Workload.consistent rng (Workloads.workload_config n_constraints) schema
             in
             time (fun () ->
-                Checking.to_bool
-                  (Checking.check ~config ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma)))
+                Cind_api.to_bool
+                  (Cind_api.check ~config ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma)))
       in
       let hits = List.length (List.filter fst results) in
       row "%-6d %-16.1f %-12.4f@." pool_size
@@ -233,7 +232,7 @@ let ablation_backend scale =
   row "%-10s %-16s %-12s@." "backend" "accuracy(%)" "checking(s)";
   let trials = Workloads.trials scale in
   let n_constraints = List.hd (List.rev (Workloads.fig11_num_constraints scale)) in
-  series [ ("chase", Cfd_checking.Chase_backend); ("sat", Cfd_checking.Sat_backend) ]
+  series [ ("chase", Cind_api.Chase_backend); ("sat", Cind_api.Sat_backend) ]
     (fun (name, backend) ->
       with_series_metrics (Printf.sprintf "ablation-backend/%s" name) @@ fun () ->
       let results =
@@ -245,8 +244,8 @@ let ablation_backend scale =
               Workload.consistent rng (Workloads.workload_config n_constraints) schema
             in
             time (fun () ->
-                Checking.to_bool
-                  (Checking.check ~backend ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma)))
+                Cind_api.to_bool
+                  (Cind_api.check ~backend ~k:20 ~rng:(Rng.make (seed + 1)) schema sigma)))
       in
       let hits = List.length (List.filter fst results) in
       row "%-10s %-16.1f %-12.4f@." name

@@ -3,7 +3,6 @@ open Toolkit
 open Conddep_relational
 open Conddep_core
 open Conddep_chase
-open Conddep_consistency
 open Conddep_generator
 
 (* Bechamel micro-benchmarks: one Test.make per table and figure of the
@@ -57,7 +56,7 @@ let tests () =
     (* Table 1: the EXPTIME implication decision on the Example 3.4 input *)
     Test.make ~name:"table1/cind-implication-finite"
       (Staged.stage (fun () ->
-           Implication.implies B.schema ~sigma:B.implication_sigma B.implication_goal));
+           Cind_api.implies B.schema ~sigma:B.implication_sigma B.implication_goal));
     (* Table 1: the proof checker on the Example 3.4 derivation *)
     Test.make ~name:"table1/inference-proof-check"
       (Staged.stage (fun () ->
@@ -70,42 +69,43 @@ let tests () =
     (* Table 2: the PSPACE-style membership search without finite domains *)
     Test.make ~name:"table2/cind-implication-infinite"
       (Staged.stage (fun () ->
-           Implication.implies chain_inf_schema ~sigma:chain_inf_sigma chain_inf_goal));
+           Cind_api.implies chain_inf_schema ~sigma:chain_inf_sigma chain_inf_goal));
     (* Fig 10(a): the two CFD_Checking backends on the same relation *)
     Test.make ~name:"fig10a/cfd-checking-chase"
       (Staged.stage (fun () ->
-           Cfd_checking.consistent_rel ~backend:Cfd_checking.Chase_backend
-             ~rng:(Rng.make 1) cfd_schema cfds ~rel:rel0));
+           Cind_api.consistent ~backend:Cind_api.Chase_backend ~rng:(Rng.make 1)
+             cfd_schema cfds ~rel:rel0));
     Test.make ~name:"fig10a/cfd-checking-sat"
       (Staged.stage (fun () ->
-           Cfd_checking.consistent_rel ~backend:Cfd_checking.Sat_backend
-             ~rng:(Rng.make 1) cfd_schema cfds ~rel:rel0));
+           Cind_api.consistent ~backend:Cind_api.Sat_backend ~rng:(Rng.make 1)
+             cfd_schema cfds ~rel:rel0));
     (* Fig 10(b): bounded-valuation chase checking at K_CFD = 16 *)
     Test.make ~name:"fig10b/cfd-checking-k16"
       (Staged.stage (fun () ->
-           Cfd_checking.consistent_rel_chase ~k_cfd:16 ~rng:(Rng.make 2) cfd_schema
+           Cind_api.consistent ~backend:Cind_api.Chase_backend ~k_cfd:16
+             ~rng:(Rng.make 2) cfd_schema
              (List.filter (fun nf -> nf.Cfd.nf_rel = rel0) cfds)
              ~rel:rel0));
     (* Fig 11(a)/(b): the two heuristics on a consistent mixed set *)
     Test.make ~name:"fig11ab/random-checking-consistent"
       (Staged.stage (fun () ->
-           Random_checking.to_bool
-             (Random_checking.check ~k:20 ~rng:(Rng.make 3) schema_c sigma_c)));
+           Cind_api.to_bool
+             (Cind_api.random_check ~k:20 ~rng:(Rng.make 3) schema_c sigma_c)));
     Test.make ~name:"fig11ab/checking-consistent"
       (Staged.stage (fun () ->
-           Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make 3) schema_c sigma_c)));
+           Cind_api.to_bool (Cind_api.check ~k:20 ~rng:(Rng.make 3) schema_c sigma_c)));
     (* Fig 11(c): the two heuristics on a random mixed set *)
     Test.make ~name:"fig11c/random-checking-random"
       (Staged.stage (fun () ->
-           Random_checking.to_bool
-             (Random_checking.check ~k:20 ~rng:(Rng.make 4) schema_r sigma_r)));
+           Cind_api.to_bool
+             (Cind_api.random_check ~k:20 ~rng:(Rng.make 4) schema_r sigma_r)));
     Test.make ~name:"fig11c/checking-random"
       (Staged.stage (fun () ->
-           Checking.to_bool (Checking.check ~k:20 ~rng:(Rng.make 4) schema_r sigma_r)));
+           Cind_api.to_bool (Cind_api.check ~k:20 ~rng:(Rng.make 4) schema_r sigma_r)));
     (* Fig 11(d): dependency-graph preprocessing alone on the mixed set *)
     Test.make ~name:"fig11d/preprocessing"
       (Staged.stage (fun () ->
-           Preprocessing.run ~rng:(Rng.make 5) schema_c sigma_c));
+           Cind_api.preprocess ~rng:(Rng.make 5) schema_c sigma_c));
     (* baselines the conditional analyses generalize *)
     Test.make ~name:"baseline/fd-closure"
       (Staged.stage (fun () ->
@@ -212,11 +212,13 @@ let parallel_section () =
   let schema, sigma = needle_workload ~seed:3 ~relations:8 ~cinds:20 in
   let k = 96 in
   let check jobs =
-    Random_checking.check ~jobs ~k ~k_cfd:40 ~rng:(Rng.make 7) schema sigma
+    Cind_api.random_check ~jobs ~k ~k_cfd:40 ~rng:(Rng.make 7) schema sigma
   in
   let verdict = function
-    | Random_checking.Consistent db -> Fmt.str "consistent:%a" Database.pp db
-    | Random_checking.Unknown r -> "unknown:" ^ Guard.reason_to_string r
+    | Cind_api.Yes (Some db) -> Fmt.str "consistent:%a" Database.pp db
+    | Cind_api.Yes None -> "consistent"
+    | Cind_api.No -> "no"
+    | Cind_api.Unknown r -> "unknown:" ^ Guard.reason_to_string r
   in
   let timings = ref [] in
   Util.row "%-28s %-12s %-10s@." "benchmark" "time(s)" "verdict";
@@ -230,14 +232,53 @@ let parallel_section () =
         (Printf.sprintf "needle k=%d jobs=%d" k jobs)
         s
         (match r with
-        | Random_checking.Consistent _ -> "consistent"
-        | Random_checking.Unknown _ -> "unknown"))
+        | Cind_api.Yes _ -> "consistent"
+        | Cind_api.No -> "no"
+        | Cind_api.Unknown _ -> "unknown"))
     [ 1; 2; 4 ];
   let identical =
     let v1 = verdict (check 1) in
     List.for_all (fun jobs -> String.equal v1 (verdict (check jobs))) [ 2; 4 ]
   in
   Util.row "verdicts bit-identical across jobs counts: %b@." identical;
+  (* batch facade overhead: [check_many] at jobs=1 must track N singleton
+     [check] calls (the cost model keeps jobs=1 and tiny batches off the
+     pool entirely), and its verdicts must be bit-identical to theirs *)
+  let bschema, bsigma = needle_workload ~seed:5 ~relations:4 ~cinds:8 in
+  let n_batch = 8 in
+  let sigmas = List.init n_batch (fun _ -> bsigma) in
+  let show_verdict = function
+    | Cind_api.Yes (Some db) -> Fmt.str "yes:%a" Database.pp db
+    | Cind_api.Yes None -> "yes"
+    | Cind_api.No -> "no"
+    | Cind_api.Unknown r -> "unknown:" ^ Guard.reason_to_string r
+  in
+  let batch jobs () =
+    List.map show_verdict
+      (Cind_api.check_many ~jobs ~k:4 ~k_cfd:10 ~rng:(Rng.make 21) bschema
+         sigmas)
+  in
+  let singletons () =
+    List.map
+      (fun rng ->
+        show_verdict (Cind_api.check ~jobs:1 ~k:4 ~k_cfd:10 ~rng bschema bsigma))
+      (Rng.split_n (Rng.make 21) n_batch)
+  in
+  let vs, single_s = Util.time singletons in
+  let vb1, batch1_s = Util.time (batch 1) in
+  let vb4, batch4_s = Util.time (batch 4) in
+  let batch_identical = List.equal String.equal vs vb1 && List.equal String.equal vb1 vb4 in
+  let batch_overhead = if single_s > 0. then batch1_s /. single_s else Float.nan in
+  Util.row "%-28s %-12.4f@."
+    (Printf.sprintf "batch n=%d singletons" n_batch)
+    single_s;
+  Util.row "%-28s %-12.4f (overhead %.3fx)@."
+    (Printf.sprintf "check_many n=%d jobs=1" n_batch)
+    batch1_s batch_overhead;
+  Util.row "%-28s %-12.4f@."
+    (Printf.sprintf "check_many n=%d jobs=4" n_batch)
+    batch4_s;
+  Util.row "batch verdicts bit-identical to singletons: %b@." batch_identical;
   let ischema, icompiled, idb = indexing_workload ~n:300 in
   let chase ~indexed () =
     Chase.run ~indexed
@@ -278,11 +319,23 @@ let parallel_section () =
   j oc "  \"chase_indexed_s\": %.6f,\n" index_s;
   j oc "  \"indexing_speedup\": %.4f,\n"
     (if index_s > 0. then scan_s /. index_s else Float.nan);
-  j oc "  \"recommended_domain_count\": %d\n" (Stdlib.Domain.recommended_domain_count ());
+  j oc "  \"batch_singletons_s\": %.6f,\n" single_s;
+  j oc "  \"batch_check_many_jobs1_s\": %.6f,\n" batch1_s;
+  j oc "  \"batch_check_many_jobs4_s\": %.6f,\n" batch4_s;
+  j oc "  \"batch_overhead_jobs1\": %.4f,\n" batch_overhead;
+  j oc "  \"batch_speedup_jobs4\": %.4f,\n"
+    (if batch4_s > 0. then single_s /. batch4_s else Float.nan);
+  j oc "  \"batch_identical_to_singletons\": %b,\n" batch_identical;
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  (* honest reporting: a 1-core host cannot measure multicore speedup, and
+     the speedup numbers above then reflect scheduling overhead only *)
+  j oc "  \"host_cores\": %d,\n" cores;
+  j oc "  \"skipped_multicore\": %b,\n" (cores = 1);
+  j oc "  \"recommended_domain_count\": %d\n" cores;
   j oc "}\n";
   close_out oc;
-  Util.row "wrote BENCH_parallel.json (recommended_domain_count=%d)@."
-    (Stdlib.Domain.recommended_domain_count ())
+  Util.row "wrote BENCH_parallel.json (host_cores=%d%s)@." cores
+    (if cores = 1 then ", skipped_multicore" else "")
 
 (* --- per-phase profile breakdown (BENCH_profile.json) ------------------------
 
@@ -308,7 +361,7 @@ let profile_section () =
         let _, wall =
           Util.time (fun () ->
               Telemetry.with_span "bench.needle" (fun () ->
-                  Random_checking.check ~jobs ~k ~k_cfd:40 ~rng:(Rng.make 7)
+                  Cind_api.random_check ~jobs ~k ~k_cfd:40 ~rng:(Rng.make 7)
                     schema sigma))
         in
         let phases = Telemetry.self_time_table () in

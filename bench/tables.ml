@@ -96,7 +96,8 @@ let cind_implication ~finite () =
     (fun k ->
       let schema, sigma, goal = chain_family ~finite k in
       let result, seconds =
-        time (fun () -> Implication.implies ~max_states:1_000_000 schema ~sigma goal)
+        time (fun () ->
+            Cind_api.to_bool (Cind_api.implies ~max_states:1_000_000 schema ~sigma goal))
       in
       row "%-6d %-10b %-12.4f@." k result seconds)
     ks
@@ -174,7 +175,9 @@ let finite_axiomatizability () =
   | Ok lines -> row "proof of psi checked: %d lines in %.6fs@." (Array.length lines) seconds
   | Error msg -> row "UNEXPECTED: %s@." msg);
   let implied, seconds =
-    time (fun () -> Implication.implies B.schema ~sigma:B.implication_sigma B.implication_goal)
+    time (fun () ->
+        Cind_api.to_bool
+          (Cind_api.implies B.schema ~sigma:B.implication_sigma B.implication_goal))
   in
   row "semantic decision agrees: %b (%.4fs)@." implied seconds
 
@@ -187,21 +190,19 @@ let undecidable_row () =
   in
   let r42, s42 =
     time (fun () ->
-        Conddep_consistency.Checking.check ~k:30 ~rng:(Rng.make 5) B.ex42_schema ex42)
+        Cind_api.check ~k:30 ~rng:(Rng.make 5) B.ex42_schema ex42)
   in
   let describe = function
-    | Conddep_consistency.Checking.Consistent _ -> "consistent (witness found)"
-    | Conddep_consistency.Checking.Inconsistent -> "inconsistent (graph emptied)"
-    | Conddep_consistency.Checking.Unknown Guard.Fuel ->
-        "unknown (no witness found)"
-    | Conddep_consistency.Checking.Unknown r ->
-        "unknown (" ^ Guard.reason_to_string r ^ ")"
+    | Cind_api.Yes _ -> "consistent (witness found)"
+    | Cind_api.No -> "inconsistent (graph emptied)"
+    | Cind_api.Unknown Guard.Fuel -> "unknown (no witness found)"
+    | Cind_api.Unknown r -> "unknown (" ^ Guard.reason_to_string r ^ ")"
   in
   row "Example 4.2 (truly inconsistent): %s in %.4fs@." (describe r42) s42;
   let bank = Sigma.normalize B.sigma in
   let rb, sb =
     time (fun () ->
-        Conddep_consistency.Checking.check ~k:60 ~rng:(Rng.make 5) B.schema bank)
+        Cind_api.check ~k:60 ~rng:(Rng.make 5) B.schema bank)
   in
   row "Bank sigma (truly consistent):   %s in %.4fs@." (describe rb) sb
 

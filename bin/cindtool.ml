@@ -150,42 +150,93 @@ let k_arg =
 
 let backend_arg =
   let backends =
-    [
-      ("chase", Conddep_consistency.Cfd_checking.Chase_backend);
-      ("sat", Conddep_consistency.Cfd_checking.Sat_backend);
-    ]
+    [ ("chase", Cind_api.Chase_backend); ("sat", Cind_api.Sat_backend) ]
   in
   Arg.(
     value
-    & opt (enum backends) Conddep_consistency.Cfd_checking.Chase_backend
+    & opt (enum backends) Cind_api.Chase_backend
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:"CFD_Checking backend inside preProcessing: $(b,chase) or $(b,sat).")
 
-let check_run path seed k backend =
-  let doc = load path in
-  let nf = Sigma.normalize doc.Parser.sigma in
-  match
-    Conddep_consistency.Checking.check ~backend ~k ~rng:(Rng.make seed)
-      doc.Parser.schema nf
-  with
-  | Conddep_consistency.Checking.Consistent db ->
+let batch_arg =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "batch" ] ~docv:"FILE"
+        ~doc:
+          "Additional constraint file to check in the same batch \
+           (repeatable).  All files must declare the same schema.  The \
+           batch shares one seed split, one interner warm-up and one \
+           work-stealing domain pool across files; each file's verdict \
+           is identical to a standalone $(b,check) of that file with its \
+           split of the seed, and the exit code is the worst per-file \
+           code.")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Batch items per work-stealing task (default: chosen by the \
+           cost model from the batch size and $(b,--jobs)).  Only \
+           meaningful with $(b,--batch).")
+
+let print_check_verdict = function
+  | Cind_api.Yes (Some db) ->
       Fmt.pr "consistent — witness database:@.%a@." Database.pp db;
       exit_ok
-  | Conddep_consistency.Checking.Inconsistent ->
+  | Cind_api.Yes None ->
+      Fmt.pr "consistent@.";
+      exit_ok
+  | Cind_api.No ->
       Fmt.pr "inconsistent (dependency-graph reduction emptied the graph)@.";
       exit_negative
-  | Conddep_consistency.Checking.Unknown Guard.Fuel
-    when Guard.state (Guard.ambient ()) = None ->
+  | Cind_api.Unknown Guard.Fuel when Guard.state (Guard.ambient ()) = None ->
       (* the paper's own K / K_CFD budgets ran out; no external limit hit *)
       Fmt.pr "unknown — no witness found within the budgets (heuristic)@.";
       exit_undetermined
-  | Conddep_consistency.Checking.Unknown r ->
+  | Cind_api.Unknown r ->
       Fmt.pr "unknown — search cut short: %s@." (Guard.reason_to_string r);
       Fmt.epr "cindtool: resource budget exhausted (%s)@." (Guard.reason_to_string r);
       print_exhaustion_forensics ();
       exit_undetermined
 
-let check_term = Term.(const check_run $ file_arg $ seed_arg $ k_arg $ backend_arg)
+let check_run path batch chunk seed k backend =
+  let paths = path :: batch in
+  let docs = List.map load paths in
+  let doc0 = List.hd docs in
+  let schema = doc0.Parser.schema in
+  let schema_repr = Fmt.str "%a" Db_schema.pp in
+  let s0 = schema_repr schema in
+  List.iter2
+    (fun p d ->
+      if not (String.equal (schema_repr d.Parser.schema) s0) then (
+        Fmt.epr "cindtool: --batch: %s declares a different schema than %s@." p
+          path;
+        exit exit_usage))
+    paths docs;
+  let nfs = List.map (fun d -> Sigma.normalize d.Parser.sigma) docs in
+  match nfs with
+  | [ nf ] ->
+      (* standalone call: preserves the historical seed -> verdict mapping
+         exactly (a 1-item batch would consume [Rng.split_n rng 1]) *)
+      print_check_verdict
+        (Cind_api.check ~backend ~k ~rng:(Rng.make seed) schema nf)
+  | nfs ->
+      let verdicts =
+        Cind_api.check_many ~backend ?chunk ~k ~rng:(Rng.make seed) schema nfs
+      in
+      List.fold_left2
+        (fun code p v ->
+          Fmt.pr "== %s@." p;
+          max code (print_check_verdict v))
+        exit_ok paths verdicts
+
+let check_term =
+  Term.(
+    const check_run $ file_arg $ batch_arg $ chunk_arg $ seed_arg $ k_arg
+    $ backend_arg)
 
 let check_doc = "Check the consistency of the constraint set (Checking, Fig 9)."
 
@@ -291,26 +342,32 @@ let implies_cmd =
         Fmt.epr "no CIND named %S in %s@." goal path;
         exit_usage
     | goals ->
-        List.fold_left
-          (fun code g ->
-            match Implication.implies doc.Parser.schema ~sigma:rest g with
-            | true ->
+        (* one Σ compilation shared across all goals via the batch form *)
+        let verdicts =
+          Cind_api.implies_many doc.Parser.schema ~sigma:rest goals
+        in
+        List.fold_left2
+          (fun code g v ->
+            match v with
+            | Cind_api.Yes _ ->
                 Fmt.pr "%a@.  IS implied by the remaining CINDs@." Cind.pp_nf g;
                 code
-            | false ->
+            | Cind_api.No ->
                 Fmt.pr "%a@.  is NOT implied by the remaining CINDs@." Cind.pp_nf g;
                 max code exit_negative
-            | exception Implication.Budget_exceeded ->
+            | Cind_api.Unknown Guard.Fuel
+              when Guard.state (Guard.ambient ()) = None ->
+                (* the procedure's own max_states cap, no external limit *)
                 Fmt.pr "%a@.  undetermined: search budget exceeded@." Cind.pp_nf g;
                 max code exit_undetermined
-            | exception Guard.Exhausted r ->
+            | Cind_api.Unknown r ->
                 Fmt.pr "%a@.  undetermined: %s@." Cind.pp_nf g
                   (Guard.reason_to_string r);
                 Fmt.epr "cindtool: resource budget exhausted (%s)@."
                   (Guard.reason_to_string r);
                 print_exhaustion_forensics ();
                 max code exit_undetermined)
-          exit_ok goals
+          exit_ok goals verdicts
   in
   Cmd.v
     (Cmd.info "implies" ~exits

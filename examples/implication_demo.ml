@@ -26,14 +26,15 @@ let () =
 
   Fmt.pr "@.=== The semantic decision procedure agrees (Thm 3.4) ===@.";
   Fmt.pr "Sigma |= psi: %b@."
-    (Implication.implies B.schema ~sigma:B.implication_sigma B.implication_goal);
+    (Cind_api.to_bool
+       (Cind_api.implies B.schema ~sigma:B.implication_sigma B.implication_goal));
 
   (* The finite domain is essential: with only the saving case covered
      (dropping psi2/psi6), rule CIND8 cannot fire and the implication
      fails — the builder gives the account type the uncovered value. *)
   let partial = List.concat_map Cind.normalize [ B.psi1_edi; B.psi5 ] in
   Fmt.pr "with only the saving case covered: %b@."
-    (Implication.implies B.schema ~sigma:partial B.implication_goal);
+    (Cind_api.to_bool (Cind_api.implies B.schema ~sigma:partial B.implication_goal));
 
   (* Classical IND implication as the baseline: without patterns, the
      embedded INDs alone do not support the composition. *)

@@ -91,4 +91,7 @@ let () =
     }
   in
   Fmt.pr "sigma |= weakened (Yp dropped)?  %b@."
-    (Implication.implies schema ~sigma:(List.concat_map Cind.normalize [ shipped_in_catalogue ]) weakened)
+    (Cind_api.to_bool
+       (Cind_api.implies schema
+          ~sigma:(List.concat_map Cind.normalize [ shipped_in_catalogue ])
+          weakened))

@@ -224,3 +224,42 @@ let consistent_rel ?(backend = Chase_backend) ?policy ?budget ?engine ?avoid ?k_
           Supervise.record_degradation ~stage:"cfd_checking" ~from_:"sat"
             ~to_:"chase" ~reason:(Guard.reason_to_string r);
           via_chase ())
+
+(* Batch entry point: many relations against one Σ.  The batch shares a
+   single grouping pass of the CFDs by relation (instead of one
+   [List.filter] over all of Σ per relation) and, when the cost model
+   says the batch is big enough, one domain pool whose work-stealing
+   deques balance the per-relation checks.  Item i is bit-identical to
+   [consistent_rel] on generator i of [Rng.split_n rng N]; a per-item
+   [Guard.Exhausted] is caught into [Error reason] so one exhausted item
+   (or a shared budget running dry mid-batch) cannot discard its
+   siblings' finished answers. *)
+let consistent_many ?backend ?policy ?budget ?engine ?avoid ?k_cfd ?jobs ?chunk
+    ~rng schema cfds ~rels =
+  let budget = Guard.resolve budget in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
+  Telemetry.with_span "checking.cfd.consistent_many" @@ fun () ->
+  let by_rel = Hashtbl.create 16 in
+  List.iter
+    (fun nf ->
+      Hashtbl.replace by_rel nf.Cfd.nf_rel
+        (nf :: Option.value ~default:[] (Hashtbl.find_opt by_rel nf.Cfd.nf_rel)))
+    (List.rev cfds);
+  let group rel = Option.value ~default:[] (Hashtbl.find_opt by_rel rel) in
+  let n = List.length rels in
+  let items = List.combine (Rng.split_n rng n) rels in
+  let run_one (rng_i, rel) =
+    match
+      consistent_rel ?backend ?policy ~budget ?engine ?avoid ?k_cfd
+        ~rng:(Rng.copy rng_i) schema (group rel) ~rel
+    with
+    | t -> Ok t
+    | exception Guard.Exhausted r -> Error r
+  in
+  let plan = Parallel.estimate ?chunk ~tasks:n ~jobs () in
+  if not plan.Parallel.use_pool then List.map run_one items
+  else
+    Parallel.with_pool ~jobs (fun pool ->
+        Parallel.chunked_map pool ~chunk:plan.Parallel.chunk run_one items)

@@ -66,3 +66,25 @@ val consistent_rel :
     shared [budget] is intact, the call falls back to the chase backend
     (the SAT -> chase ladder rung) and records the step on the
     degradation trail. *)
+
+val consistent_many :
+  ?backend:backend ->
+  ?policy:Supervise.Policy.t ->
+  ?budget:Guard.t ->
+  ?engine:Chase.engine ->
+  ?avoid:Value.t list ->
+  ?k_cfd:int ->
+  ?jobs:int ->
+  ?chunk:int ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  Cfd.nf list ->
+  rels:string list ->
+  (Template.tuple option, Guard.reason) result list
+(** Batch {!consistent_rel} over many relations.  Item i is bit-identical
+    to [consistent_rel ~rng:(List.nth (Rng.split_n rng N) i) ... ~rel]
+    at any [jobs] count; a per-item [Guard.Exhausted] becomes [Error r]
+    instead of discarding finished siblings.  The batch shares one
+    grouping of [cfds] by relation and, when {!Parallel.estimate}
+    justifies domains, one pool balancing the items ([chunk] per task)
+    via work stealing; otherwise it is a plain sequential loop. *)

@@ -229,3 +229,58 @@ let check ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ?policy ~rng schema
   result
 
 let to_bool = function Consistent _ -> true | Inconsistent | Unknown _ -> false
+
+(* Warm the global interner with the schema's symbols once per batch, so
+   the per-item Depgraph / Preprocessing passes — whichever domain they
+   run on — hit a populated table instead of each paying the first-touch
+   insertions. *)
+let intern_schema schema =
+  List.iter
+    (fun rel ->
+      ignore (Interner.symbol rel);
+      List.iter
+        (fun a -> ignore (Interner.symbol a))
+        (Schema.attr_names (Db_schema.find schema rel)))
+    (Db_schema.rel_names schema)
+
+(* Batch entry point: one schema, N dependency sets.  Item i behaves
+   bit-identically to [check ~jobs:1] on generator i of
+   [Rng.split_n rng N] — and [check] is jobs-invariant, so batch results
+   are bit-identical to N independent [check] calls at any jobs count.
+   What the batch shares: the policy/budget resolution, the interner
+   warm-up above, and one pool whose domain spawns are amortised over
+   every item (items are the coarse work units the work-stealing deques
+   balance; each item runs its own pipeline sequentially). *)
+let check_many ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ?chunk ?policy
+    ~rng schema (sigmas : Sigma.nf list) =
+  let budget = Guard.resolve budget in
+  let policy = Supervise.Policy.resolve policy in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
+  Telemetry.with_span "checking.check_many" @@ fun () ->
+  let n = List.length sigmas in
+  intern_schema schema;
+  let items = List.combine (Rng.split_n rng n) sigmas in
+  (* Every attempt runs from a copy of the item's generator, so a batch
+     rung that partially consumed a stream can be replayed sequentially
+     with bit-identical results. *)
+  let run_one (rng_i, sigma_i) =
+    check ?backend ~budget ?engine ?config ?k ?k_cfd ~jobs:1 ~policy
+      ~rng:(Rng.copy rng_i) schema sigma_i
+  in
+  let plan = Parallel.estimate ?chunk ~tasks:n ~jobs () in
+  if not plan.Parallel.use_pool then List.map run_one items
+  else
+    try
+      Parallel.with_pool ~jobs (fun pool ->
+          Parallel.chunked_map pool ~chunk:plan.Parallel.chunk run_one items)
+    with
+    | Guard.Exhausted _ as e -> raise e
+    | e when policy.Supervise.Policy.degrade ->
+        (* The ladder's batch rung: a pool failure the rescue path could
+           not absorb degrades the whole batch to the sequential loop —
+           items re-run from their pristine generator copies. *)
+        Supervise.record_degradation ~stage:"checking.check_many"
+          ~from_:"pool" ~to_:"sequential" ~reason:(Printexc.to_string e);
+        List.map run_one items

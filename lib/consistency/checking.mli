@@ -52,5 +52,39 @@ val check :
     cannot change the answer.  With supervision off, the historical
     behaviour (and rng consumption) is preserved exactly. *)
 
+val check_many :
+  ?backend:Cfd_checking.backend ->
+  ?budget:Guard.t ->
+  ?engine:Chase.engine ->
+  ?config:Chase.config ->
+  ?k:int ->
+  ?k_cfd:int ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?policy:Supervise.Policy.t ->
+  rng:Rng.t ->
+  Db_schema.t ->
+  Sigma.nf list ->
+  result list
+(** [check_many ~rng schema sigmas] checks N dependency sets against one
+    schema.  Result i is bit-identical (verdict {e and} witness) to
+    [check ~rng:(List.nth (Rng.split_n rng N) i) schema (List.nth sigmas
+    i)] at any jobs count — the batch form changes wall-clock, never
+    answers.  The batch shares one policy/budget resolution, one interner
+    warm-up over the schema, and one domain pool across all items; items
+    are the coarse tasks the work-stealing runtime balances ([chunk]
+    items per task, default {!Parallel.estimate}-chosen), and each item's
+    own pipeline runs sequentially.  With [jobs = 1] — or a batch too
+    small for {!Parallel.estimate} to justify domains — no pool is
+    created at all.
+
+    A shared [budget] is drained by all items jointly (exhaustion is
+    sticky, so items after the cut answer [Unknown] quickly); pass
+    per-item budgets via N singleton calls when strict sequential
+    budget-equivalence matters.  If the pool itself fails (beyond what
+    crash isolation absorbs) and [policy] allows degradation, the batch
+    re-runs sequentially — recorded on the degradation trail as
+    [checking.check_many: pool -> sequential]. *)
+
 val to_bool : result -> bool
 (** The paper's boolean answer: [true] only for [Consistent]. *)

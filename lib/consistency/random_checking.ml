@@ -119,28 +119,50 @@ let check ?budget ?engine ?(config = Chase.default_config) ?(k = 20) ?(k_cfd = 1
             None
         | exception Guard.Exhausted r -> Some (Error r)
       in
-      (* Fan the K runs out in waves of a few pool-fills rather than
-         materialising K generators (and tokens) up front — K can be set
-         very large when the caller governs by deadline instead.  Splitting
-         generators wave by wave from the same stream yields exactly the
-         per-run generators one big [split_n] would, so run i is
-         reproducible at any jobs count and any wave size; least-index
-         selection within a wave composes with the sequential wave order
-         into global least-index selection. *)
-      let wave = if jobs = 1 then 1 else min k (jobs * 4) in
+      (* The cost model decides up front whether this fan-out is worth a
+         pool at all: at jobs = 1 — or for a K too small to amortise
+         domain spawns — the runs execute as a plain sequential loop with
+         no pool, no tokens plumbing and no task traffic, so the small
+         case pays exactly the single-threaded cost.  Either way the
+         generator stream is split one run at a time in submission order:
+         splitting wave by wave (or run by run) from the same stream
+         yields exactly the per-run generators one big [split_n] would,
+         so run i is reproducible at any jobs count and any chunk size;
+         least-index selection within a wave composes with the sequential
+         wave order into global least-index selection. *)
+      let plan = Parallel.estimate ~tasks:k ~jobs () in
       let outcome =
-        Parallel.with_pool ~jobs (fun pool ->
-            let rec waves remaining =
-              if remaining <= 0 then None
-              else
-                let c = min wave remaining in
-                match
-                  Parallel.first_success pool attempt (Rng.split_n rng c)
-                with
-                | Some _ as stop -> stop
-                | None -> waves (remaining - c)
-            in
-            waves k)
+        if not plan.Parallel.use_pool then
+          let rec go remaining =
+            if remaining <= 0 then None
+            else
+              match Rng.split_n rng 1 with
+              | [ run_rng ] -> (
+                  match attempt run_rng (Guard.token ()) with
+                  | Some _ as stop -> stop
+                  | None -> go (remaining - 1))
+              | _ -> assert false
+          in
+          go k
+        else
+          (* Fan the K runs out in chunked waves of a few chunk-loads per
+             runner rather than materialising K generators (and tokens) up
+             front — K can be set very large when the caller governs by
+             deadline instead. *)
+          let wave = min k (plan.Parallel.chunk * jobs * 4) in
+          Parallel.with_pool ~jobs (fun pool ->
+              let rec waves remaining =
+                if remaining <= 0 then None
+                else
+                  let c = min wave remaining in
+                  match
+                    Parallel.chunked_first_success pool
+                      ~chunk:plan.Parallel.chunk attempt (Rng.split_n rng c)
+                  with
+                  | Some _ as stop -> stop
+                  | None -> waves (remaining - c)
+              in
+              waves k)
       in
       match outcome with
       | Some (Ok db) -> Consistent db

@@ -93,7 +93,7 @@ let violates_goal goal t1 t2 =
   | Some v1, Some v2 -> not (Value.equal v1 v2 && Pattern.match_cell v1 goal.k_ta)
   | _, _ -> false
 
-let implies ?budget ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
+let implies_exn ?budget ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
   Telemetry.with_span "cfd_implication.implies" @@ fun () ->
   let budget = Guard.resolve budget in
   Guard.probe ~budget "cfd_implication.implies";
@@ -139,3 +139,15 @@ let implies ?budget ?(max_nodes = 4_000_000) schema ~sigma (phi : Cfd.nf) =
         cands.(pos)
   in
   not (search 0)
+
+let implies = implies_exn
+
+(* Three-valued form, sharing {!Implication.outcome}: the backtracking
+   search is exact, so the only [Undetermined] sources are the local
+   [max_nodes] cap ([Guard.Fuel]) and the shared budget. *)
+let decide ?budget ?max_nodes schema ~sigma phi =
+  match implies_exn ?budget ?max_nodes schema ~sigma phi with
+  | true -> Implication.Implied
+  | false -> Implication.Not_implied
+  | exception Budget_exceeded -> Implication.Undetermined Guard.Fuel
+  | exception Guard.Exhausted r -> Implication.Undetermined r

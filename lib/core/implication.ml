@@ -248,7 +248,7 @@ let counterexample_from schema compiled psi ~budget ~max_states (start, xvals) =
   done;
   State_tbl.mem alive start
 
-let implies ?budget ?(max_states = 50_000) schema ~sigma psi =
+let implies_exn ?budget ?(max_states = 50_000) schema ~sigma psi =
   Telemetry.with_span "implication.implies" @@ fun () ->
   let budget = Guard.resolve budget in
   Guard.probe ~budget "implication.implies";
@@ -259,7 +259,68 @@ let implies ?budget ?(max_states = 50_000) schema ~sigma psi =
   not
     (List.exists (counterexample_from schema compiled psi ~budget ~max_states) starts)
 
-let implies_infinite ?budget ?max_states schema ~sigma psi =
+let implies = implies_exn
+
+(* --- three-valued interface ------------------------------------------------ *)
+
+type outcome = Implied | Not_implied | Undetermined of Guard.reason
+
+let pp_outcome ppf = function
+  | Implied -> Fmt.string ppf "implied"
+  | Not_implied -> Fmt.string ppf "not implied"
+  | Undetermined r -> Fmt.pf ppf "undetermined (%s)" (Guard.reason_to_string r)
+
+(* The core decision against an already-canonicalised, already-compiled Σ
+   — the shareable part of the work; [implies_many] compiles once and
+   runs this per goal.  [Budget_exceeded] (the local [max_states] cap) is
+   the procedure's own give-up, reported as [Undetermined Fuel]. *)
+let decide_compiled ~budget ~max_states schema compiled psi =
+  match
+    let psi = Cind.canon_nf psi in
+    let starts = start_shapes schema psi ~budget:max_states in
+    List.exists (counterexample_from schema compiled psi ~budget ~max_states) starts
+  with
+  | true -> Not_implied
+  | false -> Implied
+  | exception Budget_exceeded -> Undetermined Guard.Fuel
+  | exception Guard.Exhausted r -> Undetermined r
+
+let decide ?budget ?(max_states = 50_000) schema ~sigma psi =
+  Telemetry.with_span "implication.implies" @@ fun () ->
+  let budget = Guard.resolve budget in
+  match
+    Guard.probe ~budget "implication.implies";
+    List.map (compile schema) (List.map Cind.canon_nf sigma)
+  with
+  | exception Guard.Exhausted r -> Undetermined r
+  | compiled -> decide_compiled ~budget ~max_states schema compiled psi
+
+let implies_many ?budget ?(max_states = 50_000) ?jobs ?chunk schema ~sigma goals =
+  Telemetry.with_span "implication.implies_many" @@ fun () ->
+  let budget = Guard.resolve budget in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
+  match
+    (* The shared pass: Σ is canonicalised and compiled exactly once for
+       the whole batch (the per-goal searches read it concurrently — it
+       is immutable after compilation). *)
+    Guard.probe ~budget "implication.implies";
+    List.map (compile schema) (List.map Cind.canon_nf sigma)
+  with
+  | exception Guard.Exhausted r -> List.map (fun _ -> Undetermined r) goals
+  | compiled ->
+      let run_one psi = decide_compiled ~budget ~max_states schema compiled psi in
+      let n = List.length goals in
+      let plan = Parallel.estimate ?chunk ~tasks:n ~jobs () in
+      if not plan.Parallel.use_pool then List.map run_one goals
+      else
+        Parallel.with_pool ~jobs (fun pool ->
+            Parallel.chunked_map pool ~chunk:plan.Parallel.chunk run_one goals)
+
+(* --- finite-domain-free restriction ---------------------------------------- *)
+
+let check_infinite schema ~sigma psi =
   let attrs_infinite rel names =
     let r = Db_schema.find schema rel in
     List.for_all (fun a -> not (Domain.is_finite (Schema.domain_of r a))) names
@@ -278,5 +339,12 @@ let implies_infinite ?budget ?max_states schema ~sigma psi =
   in
   if not (List.for_all check (psi :: sigma)) then
     invalid_arg
-      "Implication.implies_infinite: constraints involve finite-domain attributes";
-  implies ?budget ?max_states schema ~sigma psi
+      "Implication.implies_infinite: constraints involve finite-domain attributes"
+
+let implies_infinite ?budget ?max_states schema ~sigma psi =
+  check_infinite schema ~sigma psi;
+  implies_exn ?budget ?max_states schema ~sigma psi
+
+let decide_infinite ?budget ?max_states schema ~sigma psi =
+  check_infinite schema ~sigma psi;
+  decide ?budget ?max_states schema ~sigma psi

@@ -17,18 +17,73 @@ open Conddep_relational
 exception Budget_exceeded
 (** The shape space exceeded [max_states]; the answer is unknown. *)
 
+type outcome = Implied | Not_implied | Undetermined of Guard.reason
+(** The three-valued answer: the exact procedure either decides, or gives
+    up for a stated reason ([Guard.Fuel] for its own [max_states] cap;
+    deadline, cancellation or fault from a shared budget otherwise). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val decide :
+  ?budget:Guard.t ->
+  ?max_states:int ->
+  Db_schema.t ->
+  sigma:Cind.nf list ->
+  Cind.nf ->
+  outcome
+(** [decide schema ~sigma psi] decides [sigma |= psi] (Theorems 3.4/3.5).
+    Inputs are assumed validated against [schema].  Never raises on
+    resource exhaustion: past [max_states] explored shapes (default
+    50,000) the answer is [Undetermined Guard.Fuel], and a dry shared
+    [budget] (default: ambient) yields [Undetermined r].  This is the
+    non-deprecated form of {!implies}; drivers should prefer the
+    [Cind_api] facade. *)
+
+val decide_infinite :
+  ?budget:Guard.t ->
+  ?max_states:int ->
+  Db_schema.t ->
+  sigma:Cind.nf list ->
+  Cind.nf ->
+  outcome
+(** {!decide}, restricted to the finite-domain-free setting of Theorem
+    3.5 (where rules CIND1–CIND6 are complete).
+    @raise Invalid_argument if any involved relation has a finite-domain
+    attribute. *)
+
+val implies_many :
+  ?budget:Guard.t ->
+  ?max_states:int ->
+  ?jobs:int ->
+  ?chunk:int ->
+  Db_schema.t ->
+  sigma:Cind.nf list ->
+  Cind.nf list ->
+  outcome list
+(** Batch {!decide} over many goals against one Σ.  The batch
+    canonicalises and compiles Σ exactly once (the genuinely shared half
+    of each call) and — when {!Parallel.estimate} justifies domains for
+    [jobs] (default {!Parallel.default_jobs}) and the goal count — fans
+    the per-goal searches out over a work-stealing pool, [chunk] goals
+    per task.  The procedure is rng-free, so outcome i is identical to
+    [decide schema ~sigma (List.nth goals i)] at any jobs count. *)
+
 val implies :
   ?budget:Guard.t -> ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
-(** [implies schema ~sigma psi] decides [sigma |= psi].  Inputs are assumed
-    validated against [schema].
+  [@@deprecated "boolean form cannot express 'unknown'; use Implication.decide (or the Cind_api.implies facade)"]
+(** [implies schema ~sigma psi] decides [sigma |= psi].
+    @deprecated The boolean result conflates "not implied" with the
+    exceptional give-ups below; use {!decide} (three-valued), or the
+    [Cind_api.implies] facade from drivers.
     @raise Budget_exceeded past [max_states] explored shapes (default 50,000).
     @raise Guard.Exhausted when the shared [budget] (default: ambient) runs
-    dry — the boolean result cannot express "unknown", so callers map the
-    exception to their own undetermined answer. *)
+    dry. *)
 
 val implies_infinite :
   ?budget:Guard.t -> ?max_states:int -> Db_schema.t -> sigma:Cind.nf list -> Cind.nf -> bool
+  [@@deprecated "boolean form cannot express 'unknown'; use Implication.decide_infinite"]
 (** Same decision, restricted to the finite-domain-free setting of
     Theorem 3.5 (where rules CIND1–CIND6 are complete).
+    @deprecated Use {!decide_infinite} (three-valued).
     @raise Invalid_argument if any involved relation has a finite-domain
     attribute. *)

@@ -14,19 +14,25 @@ let greedy ~implied items =
   in
   go [] items
 
+(* An [Undetermined] test keeps the constraint, but a spent shared budget
+   must still surface as the exhaustion it is — only the procedures' own
+   local caps are the heuristic give-up. *)
+let keep_or_reraise = function
+  | Implication.Implied -> true
+  | Implication.Not_implied -> false
+  | Implication.Undetermined _ ->
+      Guard.reraise_if_spent (Guard.resolve None);
+      false
+
 let cind_cover ?(max_states = 20_000) schema sigma =
   let implied others psi =
-    match Implication.implies ~max_states schema ~sigma:others psi with
-    | b -> b
-    | exception Implication.Budget_exceeded -> false
+    keep_or_reraise (Implication.decide ~max_states schema ~sigma:others psi)
   in
   greedy ~implied sigma
 
 let cfd_cover ?(max_nodes = 200_000) schema sigma =
   let implied others phi =
-    match Cfd_implication.implies ~max_nodes schema ~sigma:others phi with
-    | b -> b
-    | exception Cfd_implication.Budget_exceeded -> false
+    keep_or_reraise (Cfd_implication.decide ~max_nodes schema ~sigma:others phi)
   in
   greedy ~implied sigma
 

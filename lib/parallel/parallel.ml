@@ -1,22 +1,37 @@
-(* Fixed-size domain pool with fork-join map and first-success racing.
-   Stdlib-only (Domain / Mutex / Condition / Atomic); see parallel.mli for
-   the determinism contract.
+(* Work-stealing domain pool with fork-join map, chunked batching and
+   first-success racing.  Stdlib-only (Domain / Mutex / Condition /
+   Atomic); see parallel.mli for the determinism contract.
 
-   Shape: one shared FIFO of (unit -> unit) thunks, [jobs - 1] worker
-   domains blocked on a condition variable, and a submitting caller that
-   works the same queue instead of blocking ("help-first"), so [jobs = N]
-   really means N runners.  Combinators are built on [exec_units], which
-   runs a batch of non-raising thunks to completion: results and errors
-   travel through per-batch arrays, synchronised by the batch countdown
-   (mutex + condition), which is also the happens-before edge that lets
-   the caller read worker-written slots after the join.
+   Shape: one mutex-guarded FIFO deque per runner — slot 0 is the
+   submitting caller, slots 1..jobs-1 are worker domains.  Submission
+   distributes tasks round-robin across the deques; a runner pops its own
+   deque first and, finding it empty, steals the oldest task from a
+   victim chosen by a pseudo-random rotation over the other runners (the
+   rotation is scheduling-only state: results are selected by submission
+   index, never by who ran what).  Idle workers sleep on a condition
+   variable guarded by the pool mutex; a shared [pending] count of
+   not-yet-taken tasks is what they re-check before waiting, so a push
+   cannot slip between "deques empty" and "wait" (the missed-wakeup
+   hazard of per-deque locks).
 
-   Crash isolation: a task whose worker-level wrapper dies never poisons
-   the pool — the slot is marked crashed and re-run inline on the caller
-   after the join ("rescue"; the [parallel.worker] probe fires before the
-   unit body, so a crashed slot has not started).  A worker domain that
-   dies between tasks is respawned by its own exit handler, up to a cap.
-   K consecutive worker-level faults trip a circuit breaker that routes
+   Batching: combinators go through [exec_units], which runs an array of
+   non-raising thunks ("units") to completion; [chunked_map] /
+   [chunked_first_success] pack K consecutive items into one unit so that
+   tiny items amortise the per-unit queue/join traffic, and
+   {!estimate} decides — before a pool even exists — whether a workload
+   is worth domains at all.  Results and errors travel through per-batch
+   arrays, synchronised by the batch countdown (mutex + condition), which
+   is also the happens-before edge that lets the caller read
+   worker-written slots after the join.
+
+   Crash isolation (unchanged from the fork-join pool): a task whose
+   worker-level wrapper dies never poisons the pool — the slot is marked
+   crashed and re-run inline on the caller after the join ("rescue"; the
+   [parallel.worker] probe fires before the unit body, so a crashed unit
+   has not started).  A worker domain that dies between tasks is
+   respawned into its slot by its own exit handler, up to a cap; its
+   deque stays stealable meanwhile, so no task is ever stranded.  K
+   consecutive worker-level faults trip a circuit breaker that routes
    every later batch to the caller's inline loop — the pool's own
    parallel-to-sequential degradation. *)
 
@@ -26,6 +41,18 @@ let m_domains =
   Telemetry.counter "parallel.domains_spawned" ~doc:"worker domains spawned by pools"
 
 let m_tasks = Telemetry.counter "parallel.tasks" ~doc:"tasks executed by pool runners"
+
+let m_steals =
+  Telemetry.counter "parallel.steals"
+    ~doc:"tasks taken from another runner's deque (work-stealing)"
+
+let m_batches =
+  Telemetry.counter "parallel.batches"
+    ~doc:"chunked task units submitted by the batching combinators"
+
+let m_batch_size =
+  Telemetry.counter "parallel.batch_size"
+    ~doc:"items packed into chunked task units (cumulative; / parallel.batches = mean chunk)"
 
 let m_cancels =
   Telemetry.counter "parallel.cancel_signals"
@@ -72,12 +99,39 @@ let default_jobs () =
 
 let set_default_jobs j = default_jobs_cell := Some (max 1 j)
 
+(* --- cost model --- *)
+
+type plan = { use_pool : bool; chunk : int }
+
+(* Aim for a few chunks per runner so stealing has granularity to balance
+   with, capped so one chunk never serialises a visible fraction of the
+   batch. *)
+let default_chunk ~tasks ~jobs =
+  max 1 (min 32 ((tasks + (jobs * 4) - 1) / (jobs * 4)))
+
+let estimate ?chunk ?(min_tasks = 4) ~tasks ~jobs () =
+  let jobs = max 1 jobs in
+  let chunk =
+    match chunk with
+    | Some c -> max 1 c
+    | None -> default_chunk ~tasks ~jobs
+  in
+  if jobs <= 1 || tasks < max 2 min_tasks then { use_pool = false; chunk }
+  else { use_pool = true; chunk }
+
 (* --- pool --- *)
+
+type deque = { qm : Mutex.t; q : (unit -> unit) Queue.t }
 
 type pool = {
   mutex : Mutex.t;
   nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  runners : deque array; (* slot 0 = submitting caller, 1.. = workers *)
+  pending : int Atomic.t; (* tasks pushed but not yet taken, all deques *)
+  steal_seed : int array;
+      (* per-slot xorshift state for victim rotation; each cell is only
+         touched by its own (single) runner, so no lock is needed *)
+  jobs : int;
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
   mutable shut : bool;
@@ -90,6 +144,8 @@ type pool = {
       (* first worker-level exhaustion seen, under [mutex]; preserved
          across teardown so shutdown cannot lose an in-flight reason *)
 }
+
+let jobs pool = pool.jobs
 
 let trip_breaker pool why =
   if Atomic.compare_and_set pool.breaker false true then begin
@@ -120,45 +176,103 @@ let note_task_ok pool =
   if Atomic.get pool.consecutive_faults <> 0 then
     Atomic.set pool.consecutive_faults 0
 
-(* Workers drain the queue even after [stopped] is set, so a batch in
+let xorshift s =
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  if s = 0 then 0x9E3779B9 else s
+
+let try_deque d =
+  Mutex.lock d.qm;
+  let t = Queue.take_opt d.q in
+  Mutex.unlock d.qm;
+  t
+
+(* Take a task: own deque first (oldest-first — within a batch all tasks
+   are peers, so FIFO keeps rescue-relevant early slots moving), then
+   steal from the other runners, visited once each starting at a
+   pseudo-random victim.  Returns the task and whether it was stolen. *)
+let take pool ~slot =
+  match try_deque pool.runners.(slot) with
+  | Some t ->
+      ignore (Atomic.fetch_and_add pool.pending (-1));
+      Some (t, false)
+  | None ->
+      let n = Array.length pool.runners in
+      if n <= 1 then None
+      else begin
+        let s = xorshift pool.steal_seed.(slot) in
+        pool.steal_seed.(slot) <- s;
+        let start = (s land max_int) mod (n - 1) in
+        let rec scan k =
+          if k >= n - 1 then None
+          else
+            let victim = (slot + 1 + ((start + k) mod (n - 1))) mod n in
+            match try_deque pool.runners.(victim) with
+            | Some t ->
+                ignore (Atomic.fetch_and_add pool.pending (-1));
+                Telemetry.incr m_steals;
+                Some (t, true)
+            | None -> scan (k + 1)
+        in
+        scan 0
+      end
+
+let run_taken (t, stolen) =
+  if stolen then Telemetry.with_span "parallel.task.steal" t else t ()
+
+(* Workers drain every deque even after [stopped] is set, so a batch in
    flight when shutdown begins still completes rather than hanging its
    joiner. *)
-let rec worker pool =
+let rec worker pool slot =
   (* The crash-injection point for the domain itself: it sits before the
      take, so a dying worker never holds a task — batch wrappers are
      total, which is what keeps joins hang-free however many workers
      die. *)
   Guard.probe "parallel.worker.loop";
-  (* The idle wait is a span of its own: in a trace it shows each worker
-     track alternating wait/run, which is exactly the fan-out efficiency
-     picture BENCH_parallel.json cannot show.  The span body ends after
-     the pool mutex is released, so sink emission never runs under it. *)
-  let task =
-    Telemetry.with_span "parallel.worker.wait" (fun () ->
-        Mutex.lock pool.mutex;
-        while Queue.is_empty pool.queue && not pool.stopped do
-          Condition.wait pool.nonempty pool.mutex
-        done;
-        let task = Queue.take_opt pool.queue in
-        Mutex.unlock pool.mutex;
-        task)
-  in
-  match task with
-  | None -> () (* stopped and drained *)
-  | Some t ->
-      t ();
-      worker pool
+  match take pool ~slot with
+  | Some taken ->
+      run_taken taken;
+      worker pool slot
+  | None ->
+      (* Nothing visible right now.  [pending > 0] with empty deques means
+         a push is in flight (the count is bumped before the pushes land):
+         spin through rather than sleep, since the wakeup broadcast may
+         already have happened. *)
+      if Atomic.get pool.pending > 0 then begin
+        Domain.cpu_relax ();
+        worker pool slot
+      end
+      else
+        (* The idle wait is a span of its own: in a trace it shows each
+           worker track alternating wait/run — the fan-out efficiency
+           picture BENCH_parallel.json cannot show.  The span body ends
+           after the pool mutex is released, so sink emission never runs
+           under it. *)
+        let stop =
+          Telemetry.with_span "parallel.worker.wait" (fun () ->
+              Mutex.lock pool.mutex;
+              while Atomic.get pool.pending = 0 && not pool.stopped do
+                Condition.wait pool.nonempty pool.mutex
+              done;
+              let stop = pool.stopped && Atomic.get pool.pending = 0 in
+              Mutex.unlock pool.mutex;
+              stop)
+        in
+        if not stop then worker pool slot
 
 (* The supervisor: each worker domain runs under an exit handler that, if
    the worker died (rather than drained and stopped), respawns a
-   replacement — unless the pool is stopping, the breaker has tripped, or
-   the respawn cap is hit (then the death counts toward the breaker). *)
-let rec spawn_worker pool =
+   replacement into the same slot — unless the pool is stopping, the
+   breaker has tripped, or the respawn cap is hit (then the death counts
+   toward the breaker).  The dead slot's deque stays stealable either
+   way, so no queued task is stranded. *)
+let rec spawn_worker pool slot =
   Telemetry.incr m_domains;
   Domain.spawn (fun () ->
-      try worker pool with e -> on_worker_death pool e)
+      try worker pool slot with e -> on_worker_death pool slot e)
 
-and on_worker_death pool e =
+and on_worker_death pool slot e =
   note_exhaustion pool e;
   let faults = 1 + Atomic.fetch_and_add pool.consecutive_faults 1 in
   Mutex.lock pool.mutex;
@@ -173,7 +287,7 @@ and on_worker_death pool e =
     (* Spawn while holding the mutex: shutdown sets [stopped] and snapshots
        [domains] under the same lock, so a replacement is either visible to
        the join or never created. *)
-    pool.domains <- spawn_worker pool :: pool.domains
+    pool.domains <- spawn_worker pool slot :: pool.domains
   end;
   Mutex.unlock pool.mutex;
   if (not respawn) && faults >= pool.breaker_after then
@@ -184,12 +298,17 @@ and on_worker_death pool e =
 
 let create ?(breaker_after = 4) ?max_respawns ~jobs () =
   Telemetry.incr m_pools;
-  let n = max 0 (jobs - 1) in
+  let jobs = max 1 jobs in
+  let n = jobs - 1 in
   let pool =
     {
       mutex = Mutex.create ();
       nonempty = Condition.create ();
-      queue = Queue.create ();
+      runners =
+        Array.init jobs (fun _ -> { qm = Mutex.create (); q = Queue.create () });
+      pending = Atomic.make 0;
+      steal_seed = Array.init jobs (fun i -> (i + 1) * 0x2545F491);
+      jobs;
       stopped = false;
       domains = [];
       shut = false;
@@ -201,7 +320,7 @@ let create ?(breaker_after = 4) ?max_respawns ~jobs () =
       exhaustion = None;
     }
   in
-  pool.domains <- List.init n (fun _ -> spawn_worker pool);
+  pool.domains <- List.init n (fun i -> spawn_worker pool (i + 1));
   pool
 
 let breaker_tripped pool = Atomic.get pool.breaker
@@ -238,11 +357,8 @@ let shutdown pool =
            in-flight exhaustion instead of abandoning it with the
            workers. *)
         let rec drain () =
-          Mutex.lock pool.mutex;
-          let t = Queue.take_opt pool.queue in
-          Mutex.unlock pool.mutex;
-          match t with
-          | Some t ->
+          match take pool ~slot:0 with
+          | Some (t, _) ->
               t ();
               drain ()
           | None -> ()
@@ -313,22 +429,30 @@ let exec_units pool units =
         if !remaining = 0 then Condition.broadcast batch_done;
         Mutex.unlock batch_mutex
       in
-      Mutex.lock pool.mutex;
-      for i = 1 to n - 1 do
-        Queue.push (counted i) pool.queue
+      (* Distribute round-robin across every runner's deque — slot 0 (the
+         caller's own) included, so the caller starts on task 0 just as
+         the fork-join pool did.  [pending] is bumped before the pushes
+         land: a worker that sees count > 0 with empty deques spins
+         through instead of sleeping past the broadcast. *)
+      let nq = Array.length pool.runners in
+      ignore (Atomic.fetch_and_add pool.pending n);
+      for i = 0 to n - 1 do
+        let d = pool.runners.(i mod nq) in
+        Mutex.lock d.qm;
+        Queue.push (counted i) d.q;
+        Mutex.unlock d.qm
       done;
+      Mutex.lock pool.mutex;
       Condition.broadcast pool.nonempty;
       Mutex.unlock pool.mutex;
-      counted 0 ();
-      (* Help-first join: keep taking queued tasks; only block once the
-         queue is empty and our stragglers are running elsewhere. *)
+      (* Help-first join: work the deques (own first, then steal) until
+         every deque is empty.  Tasks never move between deques, so one
+         full empty scan means every task has been taken by someone whose
+         counted wrapper is total — then block on the countdown. *)
       let rec help () =
-        Mutex.lock pool.mutex;
-        let task = Queue.take_opt pool.queue in
-        Mutex.unlock pool.mutex;
-        match task with
-        | Some t ->
-            Telemetry.with_span "parallel.task.steal" t;
+        match take pool ~slot:0 with
+        | Some taken ->
+            run_taken taken;
             help ()
         | None ->
             Telemetry.with_span "parallel.join.wait" (fun () ->
@@ -354,24 +478,48 @@ let exec_units pool units =
 
 (* --- combinators --- *)
 
-let map pool f xs =
+(* Contiguous [start, stop) ranges covering 0..n-1 in chunks. *)
+let chunk_ranges n chunk =
+  let rec go acc start =
+    if start >= n then List.rev acc
+    else
+      let stop = min n (start + chunk) in
+      go ((start, stop) :: acc) stop
+  in
+  Array.of_list (go [] 0)
+
+let resolve_chunk pool chunk n =
+  match chunk with
+  | Some c -> max 1 c
+  | None -> default_chunk ~tasks:n ~jobs:pool.jobs
+
+let chunked_map pool ?chunk f xs =
   match xs with
   | [] -> []
   | xs ->
       let arr = Array.of_list xs in
       let n = Array.length arr in
+      let chunk = resolve_chunk pool chunk n in
       let results = Array.make n None in
       let errors = Array.make n None in
       let units =
-        Array.init n (fun i () ->
-            try
-              Guard.probe "parallel.task";
-              results.(i) <- Some (f arr.(i))
-            with e -> errors.(i) <- Some e)
+        Array.map
+          (fun (start, stop) () ->
+            Telemetry.incr m_batches;
+            Telemetry.add m_batch_size (stop - start);
+            for i = start to stop - 1 do
+              try
+                Guard.probe "parallel.task";
+                results.(i) <- Some (f arr.(i))
+              with e -> errors.(i) <- Some e
+            done)
+          (chunk_ranges n chunk)
       in
       exec_units pool units;
       Array.iter (function Some e -> raise e | None -> ()) errors;
       Array.to_list (Array.map (function Some v -> v | None -> assert false) results)
+
+let map pool f xs = chunked_map pool ~chunk:1 f xs
 
 (* Outcome of one racing task, in the least-index selection order:
    [Stop] beats everything at a lower index; [Pass] means "keep looking". *)
@@ -389,7 +537,7 @@ let cancel_from tokens j0 =
       end)
     tokens
 
-let first_success pool f xs =
+let chunked_first_success pool ?chunk f xs =
   match xs with
   | [] -> None
   | xs ->
@@ -398,7 +546,8 @@ let first_success pool f xs =
       let tokens = Array.init n (fun _ -> Guard.token ()) in
       if pool.domains = [] || Atomic.get pool.breaker then begin
         (* Inline path IS the sequential loop the parallel path must
-           reproduce: evaluate in index order, stop at the first Some. *)
+           reproduce: evaluate in index order, stop at the first Some —
+           chunking is a scheduling notion and does not exist here. *)
         let rec go i =
           if i >= n then None
           else
@@ -410,6 +559,7 @@ let first_success pool f xs =
         go 0
       end
       else begin
+        let chunk = resolve_chunk pool chunk n in
         let outcomes = Array.make n Pass in
         (* [best] is the least index known to hold a stopping outcome;
            it only ever decreases, so every cancellation targets an index
@@ -426,16 +576,29 @@ let first_success pool f xs =
           lower ();
           cancel_from tokens (Atomic.get best + 1)
         in
+        let item i =
+          try
+            Guard.probe "parallel.task";
+            match f arr.(i) tokens.(i) with
+            | Some v -> stop i (Stop_some v)
+            | None -> ()
+          with
+          | Guard.Exhausted Guard.Cancelled -> ()
+          | e -> stop i (Stop_exn e)
+        in
         let units =
-          Array.init n (fun i () ->
-              try
-                Guard.probe "parallel.task";
-                match f arr.(i) tokens.(i) with
-                | Some v -> stop i (Stop_some v)
-                | None -> ()
-              with
-              | Guard.Exhausted Guard.Cancelled -> ()
-              | e -> stop i (Stop_exn e))
+          Array.map
+            (fun (start, stop_) () ->
+              Telemetry.incr m_batches;
+              Telemetry.add m_batch_size (stop_ - start);
+              for i = start to stop_ - 1 do
+                (* An index above [best] is already beaten (its token is
+                   cancelled); skipping it is the in-chunk analogue of a
+                   cancelled task counting as None, and cannot change the
+                   winner — indices at or below [best] always run. *)
+                if i <= Atomic.get best then item i
+              done)
+            (chunk_ranges n chunk)
         in
         exec_units pool units;
         let rec scan i =
@@ -448,6 +611,8 @@ let first_success pool f xs =
         in
         scan 0
       end
+
+let first_success pool f xs = chunked_first_success pool ~chunk:1 f xs
 
 let run_race pool ~cancel_rest thunks =
   match thunks with

@@ -1,10 +1,16 @@
-(** A fixed-size domain pool with fork-join [map] and first-success racing,
-    built on the OCaml 5 stdlib only (Domain / Mutex / Condition / Atomic).
+(** A fixed-size work-stealing domain pool with fork-join [map], chunked
+    batching and first-success racing, built on the OCaml 5 stdlib only
+    (Domain / Mutex / Condition / Atomic).
 
     The pool exists so the paper's embarrassingly parallel heuristics —
     [RandomChecking]'s K independent chase runs (Fig 5) and [Checking]'s
     chase-vs-SAT backend portfolio (Fig 10a) — can use the hardware without
-    giving up reproducibility:
+    giving up reproducibility.  Each runner (the submitting caller plus
+    [jobs - 1] worker domains) owns a deque; submission distributes tasks
+    round-robin, a runner pops its own deque first and steals the oldest
+    task from a pseudo-randomly chosen victim when it runs dry
+    ([parallel.steals] counts these).  Stealing is pure scheduling — it
+    never affects results:
 
     - {b Determinism.} Combinators return (or select) results by
       submission index, never by completion order.  Callers derive
@@ -46,6 +52,22 @@
 
 type pool
 
+type plan = { use_pool : bool; chunk : int }
+(** What {!estimate} recommends for a workload: whether spawning domains
+    is worth it at all, and how many items to pack per task. *)
+
+val estimate : ?chunk:int -> ?min_tasks:int -> tasks:int -> jobs:int -> unit -> plan
+(** The cost model behind the batching entry points.  Domains cost
+    hundreds of microseconds to spawn and every task pays queue/join
+    traffic, so below a workload-size threshold the pool is pure
+    overhead: [estimate] returns [use_pool = false] whenever [jobs <= 1]
+    or [tasks < min_tasks] (default 4) — callers then run a plain
+    sequential loop and pay exactly the single-threaded cost.  Otherwise
+    [chunk] (when not forced by the caller) is sized so each runner gets
+    a few chunks to balance with, capped at 32 so one chunk never
+    serialises a visible fraction of the batch.  The plan is advisory;
+    determinism never depends on it. *)
+
 val default_jobs : unit -> int
 (** The process default for [?jobs] parameters: the [JOBS] environment
     variable when set to a positive integer, else 1.  CI sets [JOBS=4] to
@@ -83,12 +105,25 @@ val last_exhaustion : pool -> Guard.reason option
 val with_pool : jobs:int -> (pool -> 'a) -> 'a
 (** [with_pool ~jobs f] scopes a pool around [f]; {!shutdown} always runs. *)
 
+val jobs : pool -> int
+(** The runner count this pool was created with (caller included). *)
+
 val map : pool -> ('a -> 'b) -> 'a list -> 'b list
-(** Fork-join map, in submission order.  Tasks run on the pool's domains
-    (and the caller, which works down the same queue instead of blocking);
+(** Fork-join map, in submission order.  Tasks run on the pool's runners
+    (the caller works its own deque and steals instead of blocking);
     each task runs under the submitting caller's ambient budget.  If any
     task raises, [map] waits for the rest, then re-raises the
-    least-indexed exception. *)
+    least-indexed exception.  Equivalent to {!chunked_map} with
+    [~chunk:1]. *)
+
+val chunked_map : pool -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} with task batching: [chunk] consecutive items (default: the
+    {!estimate} chunk for this pool's job count) are packed into one
+    schedulable task, so per-task queue/join overhead is paid once per
+    chunk instead of once per item.  Results, error selection (least
+    index) and crash-isolation rescue are identical to {!map} — chunking
+    is invisible except in wall-clock and in the
+    [parallel.batches]/[parallel.batch_size] counters. *)
 
 val first_success :
   pool -> ('a -> Guard.token -> 'b option) -> 'a list -> 'b option
@@ -102,7 +137,17 @@ val first_success :
     order.  A task raising [Guard.Exhausted Cancelled] counts as [None]
     (it is a cancelled loser); any other exception is a stopping outcome
     like [Some] — the least-indexed stopping outcome wins, and if it is an
-    exception it is re-raised. *)
+    exception it is re-raised.  Equivalent to {!chunked_first_success}
+    with [~chunk:1]. *)
+
+val chunked_first_success :
+  pool -> ?chunk:int -> ('a -> Guard.token -> 'b option) -> 'a list -> 'b option
+(** {!first_success} with task batching.  Within a chunk, items run in
+    index order; every item keeps its own token, and an item whose index
+    is already beaten by a lower stopping outcome is skipped exactly as a
+    cancelled task counts as [None] — so the selected result is still the
+    one the sequential loop would have stopped at, at any [jobs] count
+    and any chunk size. *)
 
 val race : pool -> (Guard.token -> 'a) list -> ('a, exn) result list
 (** Run the thunks concurrently, each with its own cancellation token, and

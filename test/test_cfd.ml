@@ -104,15 +104,20 @@ let test_multi_relation_consistency () =
 
 let nf1 cfd = List.hd (Cfd.normalize cfd)
 
+(* boolean view of the three-valued decision, for assertion brevity: these
+   tiny instances never exhaust the default budgets *)
+let cfd_implied schema ~sigma phi =
+  Cfd_implication.decide schema ~sigma phi = Implication.Implied
+
 let test_fd_implication_via_cfds () =
   (* Transitivity: {a -> b, b -> c} |= a -> c, but not c -> a. *)
   let schema = string_schema "r" [ "a"; "b"; "c" ] in
   let fd x y = nf1 (Fd.to_cfd (Fd.make ~rel:"r" ~x ~y)) in
   let sigma = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
   check_bool "transitivity" true
-    (Cfd_implication.implies schema ~sigma (fd [ "a" ] [ "c" ]));
+    (cfd_implied schema ~sigma (fd [ "a" ] [ "c" ]));
   check_bool "no reverse" false
-    (Cfd_implication.implies schema ~sigma (fd [ "c" ] [ "a" ]));
+    (cfd_implied schema ~sigma (fd [ "c" ] [ "a" ]));
   (* agreement with the classical closure algorithm *)
   let fds = [ Fd.make ~rel:"r" ~x:[ "a" ] ~y:[ "b" ]; Fd.make ~rel:"r" ~x:[ "b" ] ~y:[ "c" ] ] in
   check_bool "matches Armstrong closure" true
@@ -130,9 +135,9 @@ let test_pattern_weakening () =
     nf1 (Cfd.make ~name:"i" ~rel:"r" ~x:[ "a" ] ~y:[ "b" ] [ { Cfd.rx = [ const "v" ]; ry = [ wildcard ] } ])
   in
   check_bool "wildcard implies instance" true
-    (Cfd_implication.implies schema ~sigma:[ general ] instance);
+    (cfd_implied schema ~sigma:[ general ] instance);
   check_bool "instance does not imply wildcard" false
-    (Cfd_implication.implies schema ~sigma:[ instance ] general)
+    (cfd_implied schema ~sigma:[ instance ] general)
 
 let test_constant_propagation_implication () =
   (* {(a=1 -> b=2), (b=2 -> c=3)} |= (a=1 -> c=3). *)
@@ -146,9 +151,9 @@ let test_constant_propagation_implication () =
     [ mk "c1" [ "a" ] [ const "1" ] "b" (const "2"); mk "c2" [ "b" ] [ const "2" ] "c" (const "3") ]
   in
   check_bool "constants chain" true
-    (Cfd_implication.implies schema ~sigma (mk "goal" [ "a" ] [ const "1" ] "c" (const "3")));
+    (cfd_implied schema ~sigma (mk "goal" [ "a" ] [ const "1" ] "c" (const "3")));
   check_bool "different constant not implied" false
-    (Cfd_implication.implies schema ~sigma (mk "goal2" [ "a" ] [ const "9" ] "c" (const "3")))
+    (cfd_implied schema ~sigma (mk "goal2" [ "a" ] [ const "9" ] "c" (const "3")))
 
 let test_minimal_cover_cfds () =
   let schema = string_schema "r" [ "a"; "b"; "c" ] in

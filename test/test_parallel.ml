@@ -252,6 +252,84 @@ let test_checking_race_identical () =
         seq (run 4))
     [ (true, 5); (false, 21) ]
 
+(* --- work stealing: chunked combinators and the cost model ------------------ *)
+
+let test_chunked_map_order () =
+  let xs = List.init 97 Fun.id in
+  let expect = List.map (fun i -> i * 3) xs in
+  List.iter
+    (fun chunk ->
+      Parallel.with_pool ~jobs:4 (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk=%d" chunk)
+            expect
+            (Parallel.chunked_map pool ~chunk (fun i -> i * 3) xs)))
+    [ 1; 2; 7; 97; 200 ]
+
+let test_chunked_map_least_exception () =
+  (* failures inside a chunk must still surface the least submission index *)
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      match
+        Parallel.chunked_map pool ~chunk:5
+          (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+          (List.init 20 Fun.id)
+      with
+      | (_ : int list) -> Alcotest.fail "tasks >= 3 raise"
+      | exception Failure s -> check_string "least index" "3" s)
+
+let test_chunked_first_success_least_index () =
+  List.iter
+    (fun chunk ->
+      Parallel.with_pool ~jobs:4 (fun pool ->
+          let r =
+            Parallel.chunked_first_success pool ~chunk
+              (fun i _tok -> if i >= 4 then Some i else None)
+              (List.init 64 Fun.id)
+          in
+          Alcotest.(check (option int))
+            (Printf.sprintf "chunk=%d least success" chunk)
+            (Some 4) r))
+    [ 1; 3; 64 ]
+
+let test_estimate_thresholds () =
+  (* jobs=1 and tiny batches must stay off the pool entirely *)
+  check_bool "jobs=1 sequential" false
+    (Parallel.estimate ~tasks:1000 ~jobs:1 ()).Parallel.use_pool;
+  check_bool "tiny batch sequential" false
+    (Parallel.estimate ~tasks:3 ~jobs:4 ()).Parallel.use_pool;
+  check_bool "large batch pooled" true
+    (Parallel.estimate ~tasks:64 ~jobs:4 ()).Parallel.use_pool;
+  (* explicit chunk is respected; default chunk spreads tasks over jobs *)
+  check_int "explicit chunk" 7
+    (Parallel.estimate ~chunk:7 ~tasks:64 ~jobs:4 ()).Parallel.chunk;
+  let plan = Parallel.estimate ~tasks:64 ~jobs:4 () in
+  check_bool "default chunk positive" true (plan.Parallel.chunk >= 1);
+  check_bool "default chunk bounded" true (plan.Parallel.chunk <= 64);
+  (* raising min_tasks forces more workloads sequential *)
+  check_bool "min_tasks honoured" false
+    (Parallel.estimate ~min_tasks:100 ~tasks:64 ~jobs:4 ()).Parallel.use_pool
+
+let test_steals_counted () =
+  (* one long task pins the caller; the pool's other lanes drain the rest,
+     which (with round-robin submission) requires stealing.  The counter
+     is cumulative process state, so only its delta is asserted — and on
+     a 1-core host preemption may still let lane owners drain their own
+     deques, so the assertion is only that stealing never corrupts
+     results (order) while the counter stays monotone. *)
+  let steals () =
+    match List.assoc_opt "parallel.steals" (Telemetry.counter_snapshot ()) with
+    | Some n -> n
+    | None -> 0
+  in
+  let before = steals () in
+  let xs = List.init 48 Fun.id in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int))
+        "results in order" xs
+        (Parallel.chunked_map pool ~chunk:1 Fun.id xs));
+  let after = steals () in
+  check_bool "steal counter monotone" true (after >= before)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -265,6 +343,19 @@ let () =
             test_first_success_least_index;
           Alcotest.test_case "default_jobs clamp and override" `Quick
             test_default_jobs_clamped;
+        ] );
+      ( "work stealing",
+        [
+          Alcotest.test_case "chunked_map order at any chunk" `Quick
+            test_chunked_map_order;
+          Alcotest.test_case "chunked_map re-raises least index" `Quick
+            test_chunked_map_least_exception;
+          Alcotest.test_case "chunked_first_success least index" `Quick
+            test_chunked_first_success_least_index;
+          Alcotest.test_case "estimate thresholds and chunking" `Quick
+            test_estimate_thresholds;
+          Alcotest.test_case "steal counter monotone, results exact" `Quick
+            test_steals_counted;
         ] );
       ( "cancellation",
         [

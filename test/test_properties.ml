@@ -160,9 +160,10 @@ let prop_members_implied seed =
   let cinds = List.filteri (fun i _ -> i < 3) sigma.Sigma.ncinds in
   List.for_all
     (fun psi ->
-      match Implication.implies ~max_states:20_000 schema ~sigma:cinds psi with
-      | b -> b
-      | exception Implication.Budget_exceeded -> QCheck.assume_fail ())
+      match Implication.decide ~max_states:20_000 schema ~sigma:cinds psi with
+      | Implication.Implied -> true
+      | Implication.Not_implied -> false
+      | Implication.Undetermined _ -> QCheck.assume_fail ())
     cinds
 
 let prop_cfd_members_implied seed =
@@ -170,9 +171,10 @@ let prop_cfd_members_implied seed =
   let cfds = List.filteri (fun i _ -> i < 3) sigma.Sigma.ncfds in
   List.for_all
     (fun phi ->
-      match Cfd_implication.implies ~max_nodes:200_000 schema ~sigma:cfds phi with
-      | b -> b
-      | exception Cfd_implication.Budget_exceeded -> QCheck.assume_fail ())
+      match Cfd_implication.decide ~max_nodes:200_000 schema ~sigma:cfds phi with
+      | Implication.Implied -> true
+      | Implication.Not_implied -> false
+      | Implication.Undetermined _ -> QCheck.assume_fail ())
     cfds
 
 (* Exact CIND implication agrees with proof-checked derivations: anything
@@ -194,10 +196,11 @@ let prop_rule_conclusions_implied seed =
       | Error _ -> true
       | Ok derived -> (
           match
-            Implication.implies ~max_states:20_000 schema ~sigma:[ psi ] derived
+            Implication.decide ~max_states:20_000 schema ~sigma:[ psi ] derived
           with
-          | b -> b
-          | exception Implication.Budget_exceeded -> QCheck.assume_fail ()))
+          | Implication.Implied -> true
+          | Implication.Not_implied -> false
+          | Implication.Undetermined _ -> QCheck.assume_fail ()))
 
 (* Constructive Thm 3.5: over infinite domains, proof search must agree
    with the semantic decision, and every emitted proof must check. *)
@@ -214,16 +217,16 @@ let prop_proof_search_complete seed =
   List.for_all
     (fun psi ->
       match
-        ( Implication.implies ~max_states:20_000 schema ~sigma psi,
+        ( Implication.decide ~max_states:20_000 schema ~sigma psi,
           Proof_search.derive ~max_states:20_000 schema ~sigma psi )
       with
-      | exception Implication.Budget_exceeded -> QCheck.assume_fail ()
-      | true, Some proof -> (
+      | Implication.Undetermined _, _ -> QCheck.assume_fail ()
+      | Implication.Implied, Some proof -> (
           match Inference.proves schema ~sigma proof psi with
           | Ok _ -> true
           | Error _ -> false)
-      | false, None -> true
-      | true, None | false, Some _ -> false)
+      | Implication.Not_implied, None -> true
+      | Implication.Implied, None | Implication.Not_implied, Some _ -> false)
     sigma
 
 (* Fast detection must agree with the reference implementation on random

@@ -8,6 +8,14 @@ open Helpers
 
 module B = Conddep_fixtures.Bank
 
+(* boolean views of the three-valued decision, for assertion brevity: these
+   fixture-sized instances never exhaust the default budgets *)
+let implied schema ~sigma psi =
+  Implication.decide schema ~sigma psi = Implication.Implied
+
+let implied_inf schema ~sigma psi =
+  Implication.decide_infinite schema ~sigma psi = Implication.Implied
+
 (* --- Theorem 3.2: CINDs are always consistent ---------------------------- *)
 
 let test_witness_bank () =
@@ -175,7 +183,7 @@ let test_rule_augment () =
   check_bool "yp unchanged" true (nf.nf_yp = psi3_nf.nf_yp);
   (* the augmented CIND is semantically implied *)
   check_bool "augment sound" true
-    (Implication.implies B.schema ~sigma:[ psi3_nf ] nf);
+    (implied B.schema ~sigma:[ psi3_nf ] nf);
   (* attribute already in X *)
   apply_err (Inference.Augment { prem = 0; attr = "ab"; value = str "EDI" }) [| psi3_nf |];
   (* value outside domain *)
@@ -209,7 +217,7 @@ let test_rule_finite_restore_value_mismatch () =
 
 let test_example_3_4_semantic () =
   check_bool "Sigma |= psi (Example 3.4)" true
-    (Implication.implies B.schema ~sigma:B.implication_sigma B.implication_goal)
+    (implied B.schema ~sigma:B.implication_sigma B.implication_goal)
 
 let test_implication_fails_without_finite_domain () =
   (* The same implication over an infinite account type would fail: CIND8
@@ -217,7 +225,7 @@ let test_implication_fails_without_finite_domain () =
      the saving case is covered. *)
   let sigma = List.concat_map Cind.normalize [ B.psi1_edi; B.psi5 ] in
   check_bool "partial coverage does not imply" false
-    (Implication.implies B.schema ~sigma B.implication_goal)
+    (implied B.schema ~sigma B.implication_goal)
 
 let test_reflexivity_implied () =
   let refl =
@@ -232,7 +240,7 @@ let test_reflexivity_implied () =
     }
   in
   check_bool "reflexivity from empty sigma" true
-    (Implication.implies B.schema ~sigma:[] refl)
+    (implied B.schema ~sigma:[] refl)
 
 let test_transitivity_implied () =
   let schema = string_schema "r" [ "a" ] in
@@ -251,9 +259,9 @@ let test_transitivity_implied () =
             [ { Cind.cx = [ wildcard ]; cxp = []; cy = [ wildcard ]; cyp = [] } ]))
   in
   let sigma = [ ind "r" "s"; ind "s" "t" ] in
-  check_bool "r subset t implied" true (Implication.implies schema ~sigma (ind "r" "t"));
+  check_bool "r subset t implied" true (implied schema ~sigma (ind "r" "t"));
   check_bool "t subset r not implied" false
-    (Implication.implies schema ~sigma (ind "t" "r"))
+    (implied schema ~sigma (ind "t" "r"))
 
 let test_pattern_blocks_transitivity () =
   (* r ⊆ s only for tagged tuples; s ⊆ t unconditionally.  The composition
@@ -281,9 +289,9 @@ let test_pattern_blocks_transitivity () =
   in
   let sigma = [ nf "c1" "r" "s" [ ("tag", "hot") ]; nf "c2" "s" "t" [] ] in
   check_bool "conditional composition holds" true
-    (Implication.implies schema ~sigma (nf "goal" "r" "t" [ ("tag", "hot") ]));
+    (implied schema ~sigma (nf "goal" "r" "t" [ ("tag", "hot") ]));
   check_bool "unconditional not implied" false
-    (Implication.implies schema ~sigma (nf "goal2" "r" "t" []))
+    (implied schema ~sigma (nf "goal2" "r" "t" []))
 
 let test_yp_weakening_implied () =
   (* ψ with Yp ⊇ Yp' implies the Yp'-restricted version (rule CIND6). *)
@@ -299,14 +307,14 @@ let test_yp_weakening_implied () =
       nf_yp = [ ("ct", str "UK") ];
     }
   in
-  check_bool "Yp reduction implied" true (Implication.implies B.schema ~sigma weakened);
+  check_bool "Yp reduction implied" true (implied B.schema ~sigma weakened);
   let strengthened = { weakened with Cind.nf_yp = [ ("ct", str "UK"); ("rt", str "9%") ] } in
   check_bool "stronger Yp not implied" false
-    (Implication.implies B.schema ~sigma strengthened)
+    (implied B.schema ~sigma strengthened)
 
 let test_implies_infinite_guard () =
   match
-    Implication.implies_infinite B.schema ~sigma:B.implication_sigma B.implication_goal
+    implied_inf B.schema ~sigma:B.implication_sigma B.implication_goal
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "implies_infinite accepted finite-domain input"
@@ -327,7 +335,7 @@ let test_implies_infinite_agrees () =
   in
   let sigma = [ ind "r" "s" ] in
   check_bool "infinite variant agrees" true
-    (Implication.implies_infinite schema ~sigma (ind "r" "s"))
+    (implied_inf schema ~sigma (ind "r" "s"))
 
 (* --- proof search (constructive Thm 3.5) ----------------------------------- *)
 
@@ -431,7 +439,7 @@ let test_proof_search_agrees_with_semantics () =
   in
   List.iter
     (fun goal ->
-      let semantic = Implication.implies schema ~sigma goal in
+      let semantic = implied schema ~sigma goal in
       check_derivation schema sigma goal ~expect:semantic)
     goals
 
