@@ -8,9 +8,10 @@
      dune exec bench/main.exe -- --timeout 30 # per-series deadline (secs)
      dune exec bench/main.exe -- --jobs 4     # series points in parallel
      dune exec bench/main.exe -- --chase-engine naive  # ablation baseline
+     dune exec bench/main.exe -- --no-sat-cdcl         # chronological SAT
 
    Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
-             ablation-n ablation-backend micro chaos
+             ablation-n ablation-backend micro sat chaos
 
    With --timeout, a series point that exceeds the deadline stops early
    and emits a `"timeout": true` metrics row instead of silently skewed
@@ -32,6 +33,7 @@ let sections =
     ("ablation-n", Figures.ablation_pool_size);
     ("ablation-backend", Figures.ablation_backend);
     ("micro", fun scale -> ignore scale; Micro.run ());
+    ("sat", Sat_bench.run);
     ("chaos", fun scale -> ignore scale; Chaos_bench.run ());
   ]
 
@@ -88,6 +90,12 @@ let () =
         | None ->
             Fmt.epr "--chase-engine expects 'delta' or 'naive', got %S@." name;
             exit 2)
+    | "--sat-cdcl" :: rest ->
+        Conddep_sat.Solver.set_default_mode Conddep_sat.Solver.Cdcl;
+        strip_opts rest
+    | "--no-sat-cdcl" :: rest ->
+        Conddep_sat.Solver.set_default_mode Conddep_sat.Solver.Chrono;
+        strip_opts rest
     | a :: rest -> a :: strip_opts rest
   in
   let args = strip_opts args in

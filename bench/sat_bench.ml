@@ -1,0 +1,187 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_generator
+open Util
+module Solver = Conddep_sat.Solver
+module Cnf = Conddep_sat.Cnf
+
+(* The `sat` section (BENCH_sat.json): the CDCL upgrade measured two ways.
+
+   Part 1 races the chase and SAT backends of CFD_Checking over a
+   constraints-per-relation sweep (the Fig 10(a) axis) and records the
+   per-point winner plus the crossover where the winner flips — the
+   paper's own framing of the two backends (SAT4j wins small, the chase
+   scales better; a faster SAT core moves the flip point).
+
+   Part 2 is the direct ablation behind the [--no-sat-cdcl] flag: seeded
+   random 3-CNF at the phase-transition ratio (m/n ~ 4.26, the empirically
+   hardest density) solved by both engines.  Verdicts must agree pointwise
+   (both engines are complete; only the search order differs) and the CDCL
+   total must beat the chronological total — learned clauses are exactly
+   what chronological search lacks on these instances. *)
+
+(* --- part 1: chase vs SAT race over the Fig 10(a) axis ----------------------- *)
+
+let race_sweep scale =
+  let sconfig = Workloads.schema_config ~finite_ratio:0.25 scale in
+  let schema = Schema_gen.generate (Rng.make 1000) sconfig in
+  let rels = Db_schema.rel_names schema in
+  let reps = 3 in
+  row "%-14s %-12s %-12s %-8s@." "cfds/relation" "chase(s)" "sat(s)" "winner";
+  List.map
+    (fun per_rel ->
+      let result = ref (0, 0., 0.) in
+      with_series_metrics (Printf.sprintf "sat-race/cfds=%d" per_rel)
+        (fun () ->
+          let rng = Rng.make (1000 + per_rel) in
+          let total = per_rel * sconfig.Schema_gen.num_relations in
+          let sigma =
+            Workload.cfds_only rng
+              (Workloads.workload_config total)
+              schema ~consistent:true
+          in
+          let cfds = sigma.Sigma.ncfds in
+          let check backend () =
+            List.iter
+              (fun rel ->
+                ignore
+                  (Cind_api.consistent ~backend ~k_cfd:50 ~rng:(Rng.make 1)
+                     schema cfds ~rel))
+              rels
+          in
+          let time_backend backend =
+            mean (List.init reps (fun _ -> snd (time (check backend))))
+          in
+          let chase_s = time_backend Cind_api.Chase_backend in
+          let sat_s = time_backend Cind_api.Sat_backend in
+          result := (per_rel, chase_s, sat_s));
+      let per_rel, chase_s, sat_s = !result in
+      row "%-14d %-12.4f %-12.4f %-8s@." per_rel chase_s sat_s
+        (if sat_s <= chase_s then "sat" else "chase");
+      (per_rel, chase_s, sat_s))
+    (Workloads.fig10a_cfds_per_relation scale)
+
+(* --- part 2: CDCL vs chronological ablation on random 3-CNF ------------------ *)
+
+(* Uniform random 3-CNF at clause/variable ratio ~4.26 — the SAT/UNSAT
+   phase transition, where both verdicts occur and search is empirically
+   hardest.  Three distinct variables per clause, independent signs, fully
+   determined by the seed. *)
+let random_3cnf rng n =
+  let m = int_of_float (Float.round (4.26 *. float_of_int n)) in
+  let clause () =
+    let rec distinct acc k =
+      if k = 0 then acc
+      else
+        let v = 1 + Rng.int rng n in
+        if List.mem v acc then distinct acc k
+        else distinct (v :: acc) (k - 1)
+    in
+    List.map (fun v -> if Rng.bool rng then v else -v) (distinct [] 3)
+  in
+  Cnf.make ~num_vars:n (List.init m (fun _ -> clause ()))
+
+let verdict = function
+  | Solver.Sat _ -> "sat"
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown _ -> "unknown"
+
+let cnf_sweep ~ns ~seeds_per_n =
+  row "%-6s %-9s %-12s %-12s %-9s %-10s %-10s@." "n" "clauses" "cdcl(s)"
+    "chrono(s)" "speedup" "verdicts" "identical";
+  List.map
+    (fun n ->
+      let result = ref (0., 0., true, "") in
+      with_series_metrics (Printf.sprintf "sat-cnf/n=%d" n) (fun () ->
+          let instances =
+            List.init seeds_per_n (fun i ->
+                random_3cnf (Rng.make ((1337 * n) + i)) n)
+          in
+          let solve_all mode =
+            List.map
+              (fun cnf ->
+                let r, s = time (fun () -> Solver.solve ~mode cnf) in
+                (verdict r, s))
+              instances
+          in
+          let cdcl = solve_all Solver.Cdcl in
+          let chrono = solve_all Solver.Chrono in
+          let identical =
+            List.for_all2 (fun (v1, _) (v2, _) -> v1 = v2) cdcl chrono
+          in
+          let total l = List.fold_left (fun acc (_, s) -> acc +. s) 0. l in
+          let verdicts = String.concat "," (List.map fst cdcl) in
+          result := (total cdcl, total chrono, identical, verdicts));
+      let cdcl_s, chrono_s, identical, verdicts = !result in
+      assert identical;
+      let speedup = if cdcl_s > 0. then chrono_s /. cdcl_s else Float.nan in
+      let m = int_of_float (Float.round (4.26 *. float_of_int n)) in
+      row "%-6d %-9d %-12.4f %-12.4f %-9.2f %-10s %-10b@." n
+        (m * seeds_per_n) cdcl_s chrono_s speedup verdicts identical;
+      (n, cdcl_s, chrono_s, speedup, verdicts))
+    ns
+
+(* --- the section -------------------------------------------------------------- *)
+
+let run scale =
+  header "SAT: chase-vs-SAT race + CDCL-vs-chronological ablation (BENCH_sat.json)";
+  let race = race_sweep scale in
+  let ns, seeds_per_n =
+    match scale with
+    | Workloads.Quick -> ([ 40; 60; 80; 100 ], 4)
+    | Workloads.Full -> ([ 50; 100; 150; 200 ], 6)
+  in
+  let cnf = cnf_sweep ~ns ~seeds_per_n in
+  (* the hardest sweep point is the largest n — the acceptance gate *)
+  let hardest_n, h_cdcl, h_chrono, h_speedup, _ =
+    List.nth cnf (List.length cnf - 1)
+  in
+  let cdcl_total = List.fold_left (fun a (_, c, _, _, _) -> a +. c) 0. cnf in
+  let chrono_total = List.fold_left (fun a (_, _, c, _, _) -> a +. c) 0. cnf in
+  (* crossover: the first sweep point where the race winner differs from
+     the first point's winner (null when the winner never flips) *)
+  let winner (_, chase_s, sat_s) = sat_s <= chase_s in
+  let crossover =
+    match race with
+    | [] -> None
+    | first :: rest ->
+        List.find_opt (fun p -> winner p <> winner first) rest
+        |> Option.map (fun (k, _, _) -> k)
+  in
+  let oc = open_out "BENCH_sat.json" in
+  let j = Printf.fprintf in
+  j oc "{\n";
+  j oc "  \"race\": [\n";
+  List.iteri
+    (fun i (k, chase_s, sat_s) ->
+      j oc
+        "    {\"cfds_per_relation\": %d, \"chase_s\": %.6f, \"sat_s\": %.6f, \
+         \"winner\": %S}%s\n"
+        k chase_s sat_s
+        (if sat_s <= chase_s then "sat" else "chase")
+        (if i = List.length race - 1 then "" else ","))
+    race;
+  j oc "  ],\n";
+  (match crossover with
+  | Some k -> j oc "  \"crossover_cfds_per_relation\": %d,\n" k
+  | None -> j oc "  \"crossover_cfds_per_relation\": null,\n");
+  j oc "  \"cnf\": [\n";
+  List.iteri
+    (fun i (n, cdcl_s, chrono_s, speedup, verdicts) ->
+      j oc
+        "    {\"n\": %d, \"cdcl_s\": %.6f, \"chrono_s\": %.6f, \"speedup\": \
+         %.4f, \"verdicts\": %S}%s\n"
+        n cdcl_s chrono_s speedup verdicts
+        (if i = List.length cnf - 1 then "" else ","))
+    cnf;
+  j oc "  ],\n";
+  j oc "  \"hardest_n\": %d,\n" hardest_n;
+  j oc "  \"cdcl_hardest_s\": %.6f,\n" h_cdcl;
+  j oc "  \"chrono_hardest_s\": %.6f,\n" h_chrono;
+  j oc "  \"cdcl_speedup_hardest\": %.4f,\n" h_speedup;
+  j oc "  \"cdcl_total_s\": %.6f,\n" cdcl_total;
+  j oc "  \"chrono_total_s\": %.6f,\n" chrono_total;
+  j oc "  \"verdicts_identical\": true\n";
+  j oc "}\n";
+  close_out oc;
+  row "wrote BENCH_sat.json (CDCL speedup at n=%d: %.2fx)@." hardest_n h_speedup

@@ -564,6 +564,73 @@ let gen_cmd =
           & info [ "constraints" ] ~docv:"N" ~doc:"Number of constraints.")
       $ profile_arg)
 
+(* --- sat ---------------------------------------------------------------------- *)
+
+(* Debug entry point for the SAT core: solve a DIMACS file directly, so a
+   solver regression found in the field can be reproduced from an exported
+   instance without rebuilding the CFD encoding around it.  Output follows
+   the SAT-competition convention (`s` status line, `v` model line). *)
+let sat_cmd =
+  let module Solver = Conddep_sat.Solver in
+  let module Cnf = Conddep_sat.Cnf in
+  let run path =
+    let text =
+      match In_channel.with_open_text path In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg ->
+          Fmt.epr "cindtool: %s@." msg;
+          exit exit_usage
+    in
+    match Conddep_sat.Dimacs.parse text with
+    | Error msg ->
+        Fmt.epr "%s: %s@." path msg;
+        exit_usage
+    | Ok cnf -> (
+        Fmt.pr "c %s: %d vars, %d clauses, engine=%s@." (Filename.basename path)
+          (Cnf.num_vars cnf) (Cnf.num_clauses cnf)
+          (Solver.mode_to_string (Solver.default_mode ()));
+        match Solver.solve cnf with
+        | Solver.Sat model ->
+            (* Check the model before trusting it: a wrong model here is a
+               solver bug, and this subcommand exists to catch those. *)
+            if not (Cnf.eval model cnf) then begin
+              Fmt.epr "cindtool: internal error: model does not satisfy %s@." path;
+              exit exit_usage
+            end;
+            Fmt.pr "s SATISFIABLE@.";
+            let buf = Buffer.create 256 in
+            for v = 1 to Cnf.num_vars cnf do
+              Buffer.add_string buf (string_of_int (if model.(v) then v else -v));
+              Buffer.add_char buf ' '
+            done;
+            Buffer.add_char buf '0';
+            Fmt.pr "v %s@." (Buffer.contents buf);
+            exit_ok
+        | Solver.Unsat ->
+            Fmt.pr "s UNSATISFIABLE@.";
+            exit_negative
+        | Solver.Unknown r ->
+            Fmt.pr "s UNKNOWN@.";
+            Fmt.epr "cindtool: resource budget exhausted (%s)@."
+              (Guard.reason_to_string r);
+            exit_undetermined)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
+  in
+  Cmd.v
+    (Cmd.info "sat" ~exits
+       ~doc:
+         "Solve a DIMACS CNF file with the built-in SAT solver (CDCL by \
+          default; $(b,--no-sat-cdcl) selects the chronological ablation \
+          engine).  Exit 0 with a verified $(b,v) model line when \
+          satisfiable, 1 when unsatisfiable, 3 when a budget \
+          ($(b,--timeout), $(b,--fuel)) ran out first.")
+    Term.(const run $ file)
+
 (* --- stats ------------------------------------------------------------------- *)
 
 (* Aggregate a metrics JSON-lines file written by --metrics: last value per
@@ -779,6 +846,7 @@ type globals = {
   g_fuel : int option;
   g_jobs : int option;
   g_engine : Conddep_chase.Chase.engine option;
+  g_sat_mode : Conddep_sat.Solver.mode option;
   g_retries : int option;
   g_no_degrade : bool;
 }
@@ -851,6 +919,10 @@ let extract_globals argv =
         match engine_of name with
         | Ok e -> go { g with g_engine = e } rest
         | Error _ as e -> e)
+    | "--sat-cdcl" :: rest ->
+        go { g with g_sat_mode = Some Conddep_sat.Solver.Cdcl } rest
+    | "--no-sat-cdcl" :: rest ->
+        go { g with g_sat_mode = Some Conddep_sat.Solver.Chrono } rest
     | "--no-degrade" :: rest -> go { g with g_no_degrade = true } rest
     | [ "--retries" ] -> Error "option --retries needs an argument"
     | "--retries" :: n :: rest -> (
@@ -908,6 +980,7 @@ let extract_globals argv =
       g_fuel = None;
       g_jobs = None;
       g_engine = None;
+      g_sat_mode = None;
       g_retries = None;
       g_no_degrade = false;
     }
@@ -979,6 +1052,15 @@ let setup_jobs ~jobs =
 let setup_engine ~engine =
   match engine with
   | Some e -> Conddep_chase.Chase.set_default_engine e
+  | None -> ()
+
+(* --sat-cdcl/--no-sat-cdcl set the process-wide default SAT engine every
+   ?mode parameter inherits; both engines are complete and return identical
+   verdicts (models may differ), so — like --chase-engine — this is an
+   ablation/debugging switch, not a semantic one. *)
+let setup_sat_mode ~sat_mode =
+  match sat_mode with
+  | Some m -> Conddep_sat.Solver.set_default_mode m
   | None -> ()
 
 (* Unlike the library (whose default keeps supervision off so embedded
@@ -1055,6 +1137,17 @@ let () =
          verdicts, witnesses and exit codes at any $(b,--jobs) count; only \
          wall-clock time changes.";
       `P
+        "$(b,--sat-cdcl) / $(b,--no-sat-cdcl) (anywhere on the command \
+         line) select the SAT engine behind the consistency checkers and \
+         the $(b,sat) subcommand: $(b,--sat-cdcl) (the default) is the \
+         CDCL core — first-UIP clause learning, non-chronological \
+         backjumping, EVSIDS branching, LBD-scored learned-clause \
+         deletion; $(b,--no-sat-cdcl) falls back to the pre-learning \
+         chronological search (the ablation baseline, mirroring \
+         $(b,--chase-engine naive)).  Both engines are complete and return \
+         identical satisfiability verdicts and exit codes; satisfying \
+         models and wall-clock time may differ.";
+      `P
         "$(b,--retries) $(i,N) (anywhere on the command line) allows up to \
          $(i,N) supervised re-runs of an operation that failed transiently \
          (an injected fault, a local allocation ceiling) before the \
@@ -1094,6 +1187,7 @@ let () =
       setup_guard ~timeout:g.g_timeout ~fuel:g.g_fuel;
       setup_jobs ~jobs:g.g_jobs;
       setup_engine ~engine:g.g_engine;
+      setup_sat_mode ~sat_mode:g.g_sat_mode;
       setup_supervision ~retries:g.g_retries ~no_degrade:g.g_no_degrade;
       let argv = Array.of_list (Sys.argv.(0) :: g.g_rest) in
       let group =
@@ -1110,6 +1204,7 @@ let () =
             cover_cmd;
             witness_cmd;
             gen_cmd;
+            sat_cmd;
             stats_cmd;
             chaos_cmd;
             profile_stub_cmd;

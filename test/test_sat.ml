@@ -1,8 +1,10 @@
 open Conddep_sat
 open Helpers
 
-(* The DPLL solver: hand-written cases, DIMACS round-trips, and a
-   differential property test against the brute-force reference. *)
+(* The CDCL solver and its chronological ablation engine: hand-written
+   cases, DIMACS round-trips, differential property tests against the
+   brute-force reference (and between the two engines), learned-clause
+   machinery observability, and the sat.analyze fault probe. *)
 
 let solve_is_sat cnf =
   match Solver.solve cnf with
@@ -75,6 +77,180 @@ let test_duplicate_and_tautological_literals () =
   check_bool "duplicate literals" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1; 1 ] ]));
   check_bool "tautology" true (solve_is_sat (Cnf.make ~num_vars:1 [ [ 1; -1 ]; [ -1 ] ]))
 
+(* --- the CDCL machinery ------------------------------------------------------ *)
+
+(* PHP(p, h): p pigeons into h holes — UNSAT when p > h, and its refutation
+   has no short resolution proof, so conflict analysis gets real work. *)
+let pigeonhole pigeons holes =
+  let v i j = (holes * i) + j + 1 in
+  let ps = List.init pigeons Fun.id and hs = List.init holes Fun.id in
+  let clauses =
+    List.map (fun i -> List.map (fun j -> v i j) hs) ps
+    @ List.concat_map
+        (fun j ->
+          List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun i' -> if i' > i then Some [ -v i j; -v i' j ] else None)
+                ps)
+            ps)
+        hs
+  in
+  Cnf.make ~num_vars:(pigeons * holes) clauses
+
+(* Seeded uniform random 3-CNF at the phase-transition clause/variable
+   ratio (~4.26) — the density where UNSAT cores force multi-level
+   backjumps.  Mirrors the generator in bench/sat_bench.ml. *)
+let random_3cnf seed n =
+  let rng = Rng.make seed in
+  let m = int_of_float (Float.round (4.26 *. float_of_int n)) in
+  let clause () =
+    let rec distinct acc k =
+      if k = 0 then acc
+      else
+        let v = 1 + Rng.int rng n in
+        if List.mem v acc then distinct acc k
+        else distinct (v :: acc) (k - 1)
+    in
+    List.map (fun v -> if Rng.bool rng then v else -v) (distinct [] 3)
+  in
+  Cnf.make ~num_vars:n (List.init m (fun _ -> clause ()))
+
+let brute_is_sat cnf =
+  match Solver.solve_brute cnf with
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown r -> Alcotest.failf "brute Unknown: %s" (Guard.reason_to_string r)
+
+let mode_is_sat ?restart_base ?reduce_base mode cnf =
+  match Solver.solve ?restart_base ?reduce_base ~mode cnf with
+  | Solver.Sat model ->
+      check_bool "model satisfies" true (Cnf.eval model cnf);
+      true
+  | Solver.Unsat -> false
+  | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
+
+(* Differential: both engines vs the exhaustive oracle on seeded 3-CNF at
+   the hard density — a mix of SAT instances and UNSAT cores. *)
+let test_cdcl_differential_3cnf () =
+  for seed = 0 to 19 do
+    let n = 8 + (seed mod 6) in
+    let cnf = random_3cnf seed n in
+    let brute = brute_is_sat cnf in
+    check_bool
+      (Printf.sprintf "cdcl seed=%d n=%d" seed n)
+      brute
+      (mode_is_sat Solver.Cdcl cnf);
+    check_bool
+      (Printf.sprintf "chrono seed=%d n=%d" seed n)
+      brute
+      (mode_is_sat Solver.Chrono cnf)
+  done
+
+(* The learning machinery must be observable: refuting PHP(5,4) has to
+   learn clauses and take non-chronological backjumps (both counters
+   strictly increase), and the analysis span's histogram gets samples. *)
+let test_multilevel_backjumps_observable () =
+  let m_learned = Telemetry.counter "sat.learned" in
+  let m_backjumps = Telemetry.counter "sat.backjump_levels" in
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable @@ fun () ->
+  let l0 = Telemetry.count m_learned and b0 = Telemetry.count m_backjumps in
+  check_bool "PHP(5,4) unsat" false (mode_is_sat Solver.Cdcl (pigeonhole 5 4));
+  check_bool "clauses were learned" true (Telemetry.count m_learned > l0);
+  check_bool "multi-level backjumps happened" true
+    (Telemetry.count m_backjumps > b0)
+
+(* An aggressive deletion cadence (reduce after every learned clause) must
+   delete learned clauses yet preserve the verdict; deletion disabled is
+   the reference point. *)
+let test_reduction_cadence_preserves_verdict () =
+  let m_deleted = Telemetry.counter "sat.learned_deleted" in
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable @@ fun () ->
+  let d0 = Telemetry.count m_deleted in
+  let cnf = pigeonhole 5 4 in
+  check_bool "aggressive cadence: unsat" false
+    (mode_is_sat ~reduce_base:1 Solver.Cdcl cnf);
+  check_bool "reductions actually deleted clauses" true
+    (Telemetry.count m_deleted > d0);
+  check_bool "deletion disabled: unsat" false
+    (mode_is_sat ~reduce_base:0 Solver.Cdcl cnf)
+
+(* Regression: backjumping to level 0 must preserve the pre-asserted unit
+   clauses.  (cancel_until once kept [trail_lim.(lvl)] entries instead of
+   [trail_lim.(lvl + 1)], erasing the level-0 units on any backjump to the
+   root — and units live outside the clause arena, so nothing re-derived
+   them and an invalid "model" violating [-2] came back.  QCheck found the
+   original of this instance.) *)
+let test_backjump_to_root_keeps_units () =
+  let cnf =
+    Cnf.make ~num_vars:5
+      [
+        [ 4; -4; 1; -4 ];
+        [ 2; -3; -1; 4 ];
+        [ -2 ];
+        [ -5; -4 ];
+        [ 5; -1 ];
+        [ 5; 5; 4; 1 ];
+        [ 3; 5; 3 ];
+        [ -1; 3 ];
+        [ 5; 1 ];
+        [ -3; 4; -2 ];
+        [ -3; 2; 1 ];
+      ]
+  in
+  let brute = brute_is_sat cnf in
+  check_bool "cdcl matches brute" brute (mode_is_sat Solver.Cdcl cnf);
+  check_bool "chrono matches brute" brute (mode_is_sat Solver.Chrono cnf)
+
+let test_mode_knobs () =
+  check_bool "mode round-trip cdcl" true
+    (Solver.mode_of_string "cdcl" = Some Solver.Cdcl);
+  check_bool "mode round-trip chrono" true
+    (Solver.mode_of_string "chrono" = Some Solver.Chrono);
+  check_bool "unknown mode rejected" true (Solver.mode_of_string "dpll" = None);
+  check_string "to_string cdcl" "cdcl" (Solver.mode_to_string Solver.Cdcl);
+  let saved = Solver.default_mode () in
+  Fun.protect ~finally:(fun () -> Solver.set_default_mode saved) @@ fun () ->
+  Solver.set_default_mode Solver.Chrono;
+  check_bool "default mode settable" true (Solver.default_mode () = Solver.Chrono)
+
+(* The sat.analyze probe: armed (programmatically — fires regardless of
+   budget), conflict analysis must surface as Unknown (Fault _), never a
+   crash, across a small countdown sweep.  PHP(4,3) conflicts well past
+   the deepest countdown, so the fault always fires. *)
+let test_analyze_fault_probe () =
+  let cnf = pigeonhole 4 3 in
+  List.iter
+    (fun after ->
+      Guard.arm ~site:"sat.analyze" ~after Guard.Raise;
+      Fun.protect ~finally:Guard.disarm_all @@ fun () ->
+      match Solver.solve ~mode:Solver.Cdcl cnf with
+      | Solver.Unknown (Guard.Fault s) ->
+          check_string (Printf.sprintf "site (after=%d)" after) "sat.analyze" s
+      | Solver.Unknown r ->
+          Alcotest.failf "after=%d: expected Fault, got %s" after
+            (Guard.reason_to_string r)
+      | Solver.Sat _ | Solver.Unsat ->
+          Alcotest.failf "after=%d: armed probe never fired" after)
+    [ 0; 1; 5 ];
+  (* transient fault (times:1) + the probe being per-conflict: the search
+     survives the one injected failure on a re-run *)
+  Guard.arm ~site:"sat.analyze" ~times:1 Guard.Raise;
+  (match Solver.solve ~mode:Solver.Cdcl cnf with
+  | Solver.Unknown (Guard.Fault _) -> ()
+  | r ->
+      Guard.disarm_all ();
+      Alcotest.failf "transient arm: expected one Fault, got %s"
+        (match r with
+        | Solver.Sat _ -> "Sat"
+        | Solver.Unsat -> "Unsat"
+        | Solver.Unknown r -> Guard.reason_to_string r));
+  Guard.disarm_all ();
+  check_bool "after the transient fault the verdict is back" false
+    (mode_is_sat Solver.Cdcl cnf)
+
 let test_dimacs_roundtrip () =
   let cnf = Cnf.make ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ]; [ -3 ] ] in
   let parsed = ok_or_fail (Dimacs.parse (Dimacs.print cnf)) in
@@ -82,13 +258,36 @@ let test_dimacs_roundtrip () =
   check_int "clauses" (Cnf.num_clauses cnf) (Cnf.num_clauses parsed);
   check_bool "same satisfiability" (solve_is_sat cnf) (solve_is_sat parsed)
 
+(* parse -> print -> parse must be the identity on the parsed form:
+   same variable count and the exact same clause lists, not merely
+   equi-satisfiability. *)
+let test_dimacs_parse_print_parse_identity () =
+  let src = "c generated instance\np cnf 4 4\n1 -2 4 0\n-3 2 0\n4 0\n-1 -4 0\n" in
+  let c1 = ok_or_fail (Dimacs.parse src) in
+  let c2 = ok_or_fail (Dimacs.parse (Dimacs.print c1)) in
+  check_int "vars" (Cnf.num_vars c1) (Cnf.num_vars c2);
+  check_bool "clause lists identical" true (Cnf.clauses c1 = Cnf.clauses c2);
+  (* and once more: printing is already canonical, so a second round trip
+     prints the same bytes *)
+  check_string "print is a fixpoint" (Dimacs.print c1) (Dimacs.print c2)
+
 let test_dimacs_errors () =
   List.iter
-    (fun src ->
+    (fun (src, diag) ->
       match Dimacs.parse src with
-      | Error _ -> ()
+      | Error msg ->
+          check_bool
+            (Printf.sprintf "diagnostic for %S names the problem (%s)" src msg)
+            true
+            (contains_substring ~needle:diag msg)
       | Ok _ -> Alcotest.failf "accepted malformed DIMACS: %s" src)
-    [ "1 2 0"; "p cnf x 2"; "p cnf 2 1\n1 2"; "p cnf 1 1\n2 0" ]
+    [
+      ("1 2 0", "missing problem line");
+      ("p cnf x 2", "malformed problem line");
+      ("p cnf 2 1\n1 2", "unterminated clause");
+      ("p cnf 1 1\nfoo 0", "bad literal");
+      ("p cnf 1 1\n2 0", "literal");
+    ]
 
 let test_rejects_bad_literals () =
   (match Cnf.make ~num_vars:2 [ [ 0 ] ] with
@@ -135,20 +334,23 @@ let prop_sat_models_check (num_vars, clauses) =
   | Solver.Unknown r -> Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
 
 (* Restarts must never flip a verdict: compare the most aggressive Luby
-   schedule against the restart-free search, and validate Sat models. *)
+   schedule against the restart-free search, in both engines, and validate
+   Sat models. *)
 let prop_restarts_preserve_verdict (num_vars, clauses) =
   let cnf = Cnf.make ~num_vars clauses in
-  let verdict ~restart_base =
-    match Solver.solve ~restart_base cnf with
-    | Solver.Sat model ->
-        if not (Cnf.eval model cnf) then
-          Alcotest.failf "invalid model (restart_base=%d)" restart_base;
-        true
-    | Solver.Unsat -> false
-    | Solver.Unknown r ->
-        Alcotest.failf "unexpected Unknown: %s" (Guard.reason_to_string r)
-  in
-  verdict ~restart_base:1 = verdict ~restart_base:0
+  let verdict ~mode ~restart_base = mode_is_sat ~restart_base mode cnf in
+  verdict ~mode:Solver.Cdcl ~restart_base:1
+  = verdict ~mode:Solver.Cdcl ~restart_base:0
+  && verdict ~mode:Solver.Chrono ~restart_base:1
+     = verdict ~mode:Solver.Chrono ~restart_base:0
+
+(* Both engines agree with each other (and hence with the oracle above)
+   regardless of the learned-clause deletion cadence. *)
+let prop_engines_agree (num_vars, clauses) =
+  let cnf = Cnf.make ~num_vars clauses in
+  let cdcl = mode_is_sat Solver.Cdcl cnf in
+  cdcl = mode_is_sat Solver.Chrono cnf
+  && cdcl = mode_is_sat ~reduce_base:1 Solver.Cdcl cnf
 
 let () =
   Alcotest.run "sat"
@@ -164,19 +366,37 @@ let () =
           Alcotest.test_case "duplicate/tautological literals" `Quick
             test_duplicate_and_tautological_literals;
         ] );
+      ( "cdcl",
+        [
+          Alcotest.test_case "differential on phase-transition 3-CNF" `Quick
+            test_cdcl_differential_3cnf;
+          Alcotest.test_case "learning and backjumps are observable" `Quick
+            test_multilevel_backjumps_observable;
+          Alcotest.test_case "deletion cadence preserves the verdict" `Quick
+            test_reduction_cadence_preserves_verdict;
+          Alcotest.test_case "backjump to root keeps units" `Quick
+            test_backjump_to_root_keeps_units;
+          Alcotest.test_case "mode knobs" `Quick test_mode_knobs;
+          Alcotest.test_case "sat.analyze fault probe sweep" `Quick
+            test_analyze_fault_probe;
+        ] );
       ( "dimacs",
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "parse-print-parse identity" `Quick
+            test_dimacs_parse_print_parse_identity;
           Alcotest.test_case "malformed inputs rejected" `Quick test_dimacs_errors;
           Alcotest.test_case "bad literals rejected" `Quick test_rejects_bad_literals;
         ] );
       ( "properties",
         [
-          qtest ~count:500 "DPLL agrees with brute force" random_cnf
+          qtest ~count:500 "solver agrees with brute force" random_cnf
             prop_matches_brute_force;
           qtest ~count:500 "returned models satisfy the formula" random_cnf
             prop_sat_models_check;
           qtest ~count:500 "restarts preserve Sat/Unsat" random_cnf
             prop_restarts_preserve_verdict;
+          qtest ~count:500 "engines and deletion cadences agree" random_cnf
+            prop_engines_agree;
         ] );
     ]
