@@ -1,0 +1,170 @@
+open Conddep_relational
+open Conddep_core
+open Conddep_generator
+open Util
+
+(* The `incremental` section (BENCH_incremental.json): the session layer's
+   fingerprint-keyed verdict cache measured against its own oracle.
+
+   For each dependency-set size N we build two Cind_session.t over the same
+   schema, Σ and database, with the same seed — one cached, one with
+   [~cache:false] (every query recomputes from scratch under the identical
+   rng discipline).  The re-check suite mirrors what a session re-verifies
+   after an edit: [consistent] on every relation, [implies] on a fixed goal
+   pool, and [holds] on the witness database.  Each measured round applies
+   exactly one CIND edit (alternately removing and restoring one dependency
+   of Σ) to both sessions and re-runs the whole suite on both.
+
+   Two numbers gate the PR: verdicts must agree pointwise across every
+   query of every round ([results_identical]), and at the largest N the
+   cached session's total re-check time must beat the from-scratch oracle
+   by the headline factor — a single-CIND edit leaves the [consistent]
+   entries untouched and dirties only the [implies] entries whose read set
+   saw the edited dependency's LHS relation, so almost the whole suite is
+   cache hits. *)
+
+let verdict_repr = function
+  | Cind_api.Yes None -> "yes"
+  | Cind_api.Yes (Some _) -> "yes+witness"
+  | Cind_api.No -> "no"
+  | Cind_api.Unknown r -> "unknown:" ^ Guard.reason_to_string r
+
+(* One suite pass: every verdict appended to [acc] (for the pointwise
+   identity check), wall-clock returned. *)
+let run_suite session ~rels ~goals acc =
+  let record v = acc := v :: !acc in
+  snd
+    (time (fun () ->
+         List.iter
+           (fun rel ->
+             record (verdict_repr (Cind_session.consistent session ~rel)))
+           rels;
+         List.iter
+           (fun goal ->
+             record (verdict_repr (Cind_session.implies session goal)))
+           goals;
+         record (string_of_bool (Cind_session.holds session))))
+
+let build_session ~cache ~schema ~(sigma : Sigma.nf) ~db =
+  let s = Cind_session.create ~cache ~seed:7 schema in
+  List.iter (Cind_session.add_cfd s) sigma.Sigma.ncfds;
+  List.iter (Cind_session.add_cind s) sigma.Sigma.ncinds;
+  Database.iter
+    (fun r ->
+      match Relation.tuples r with
+      | [] -> ()
+      | tuples ->
+          Cind_session.insert_tuples s
+            ~rel:(Schema.name (Relation.schema r))
+            tuples)
+    db;
+  s
+
+let sweep_point scale n =
+  let sconfig = Workloads.schema_config scale in
+  let schema = Schema_gen.generate (Rng.make 2000) sconfig in
+  let rels = Db_schema.rel_names schema in
+  let wconfig = Workloads.workload_config n in
+  let sigma = Workload.consistent (Rng.make (2000 + n)) wconfig schema in
+  let db = Workload.witness_db schema in
+  (* goal pool: CINDs generated apart from Σ, so implication answers vary *)
+  let goals =
+    let grng = Rng.make (9000 + n) in
+    List.init 8 (fun i -> Workload.gen_cind grng wconfig schema ~consistent:(i mod 2 = 0) i)
+  in
+  let cached = build_session ~cache:true ~schema ~sigma ~db in
+  let fresh = build_session ~cache:false ~schema ~sigma ~db in
+  (* cold pass populates the cache; not part of the measured re-check *)
+  let cold_acc = ref [] and dummy = ref [] in
+  let cold_s = run_suite cached ~rels ~goals cold_acc in
+  ignore (run_suite fresh ~rels ~goals dummy);
+  let edited =
+    match sigma.Sigma.ncinds with
+    | c :: _ -> c
+    | [] -> invalid_arg "incremental bench needs at least one CIND in Σ"
+  in
+  (* the measured rounds are sub-millisecond, so each rep replays the
+     same even-length remove/restore cycle (state returns to the start)
+     and the reported time is the min across reps — standard noise
+     rejection; verdicts are compared across EVERY rep *)
+  let rounds = match scale with Workloads.Quick -> 4 | Workloads.Full -> 6 in
+  let reps = 5 in
+  let cached_acc = ref [] and fresh_acc = ref [] in
+  let cycle () =
+    let cached_s = ref 0. and fresh_s = ref 0. in
+    for round = 0 to rounds - 1 do
+      let edit s =
+        if round mod 2 = 0 then Cind_session.remove_cind s edited
+        else Cind_session.add_cind s edited
+      in
+      edit cached;
+      edit fresh;
+      cached_s := !cached_s +. run_suite cached ~rels ~goals cached_acc;
+      fresh_s := !fresh_s +. run_suite fresh ~rels ~goals fresh_acc
+    done;
+    (!cached_s, !fresh_s)
+  in
+  let times = List.init reps (fun _ -> cycle ()) in
+  let cached_s = List.fold_left (fun m (c, _) -> Float.min m c) infinity times in
+  let fresh_s = List.fold_left (fun m (_, f) -> Float.min m f) infinity times in
+  let identical = !cached_acc = !fresh_acc in
+  let stats = Cind_session.stats cached in
+  let queries = List.length !cached_acc / reps in
+  let hit_rate = percentage stats.Cind_session.hits (stats.hits + stats.misses) in
+  (cold_s, fresh_s, cached_s, identical, queries, hit_rate)
+
+let run scale =
+  header
+    "INCREMENTAL: session cache vs from-scratch oracle (BENCH_incremental.json)";
+  let ns =
+    match scale with
+    | Workloads.Quick -> [ 50; 100; 200 ]
+    | Workloads.Full -> [ 200; 500; 1000 ]
+  in
+  row "%-8s %-10s %-14s %-14s %-9s %-10s %-10s@." "n_deps" "cold(s)"
+    "fresh(s)" "cached(s)" "speedup" "hit_rate" "identical";
+  let points =
+    List.map
+      (fun n ->
+        let result = ref (0., 0., 0., false, 0, 0.) in
+        with_series_metrics (Printf.sprintf "incremental/n=%d" n) (fun () ->
+            result := sweep_point scale n);
+        let cold_s, fresh_s, cached_s, identical, queries, hit_rate =
+          !result
+        in
+        assert identical;
+        let speedup =
+          if cached_s > 0. then fresh_s /. cached_s else Float.nan
+        in
+        row "%-8d %-10.4f %-14.4f %-14.4f %-9.2f %-10.1f %-10b@." n cold_s
+          fresh_s cached_s speedup hit_rate identical;
+        (n, cold_s, fresh_s, cached_s, speedup, queries, hit_rate, identical))
+      ns
+  in
+  let largest_n, _, _, _, speedup_largest, _, _, _ =
+    List.nth points (List.length points - 1)
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, _, i) -> i) points
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  let j = Printf.fprintf in
+  j oc "{\n";
+  j oc "  \"sweep\": [\n";
+  List.iteri
+    (fun i (n, cold_s, fresh_s, cached_s, speedup, queries, hit_rate, _) ->
+      j oc
+        "    {\"n_deps\": %d, \"recheck_queries\": %d, \"cold_s\": %.6f, \
+         \"fresh_recheck_s\": %.6f, \"cached_recheck_s\": %.6f, \"speedup\": \
+         %.4f, \"hit_rate_pct\": %.2f}%s\n"
+        n queries cold_s fresh_s cached_s speedup hit_rate
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  j oc "  ],\n";
+  j oc "  \"largest_n\": %d,\n" largest_n;
+  j oc "  \"speedup_largest\": %.4f,\n" speedup_largest;
+  j oc "  \"results_identical\": %b\n" all_identical;
+  j oc "}\n";
+  close_out oc;
+  row "wrote BENCH_incremental.json (speedup at n=%d: %.2fx)@." largest_n
+    speedup_largest

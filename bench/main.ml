@@ -11,7 +11,7 @@
      dune exec bench/main.exe -- --no-sat-cdcl         # chronological SAT
 
    Sections: fig10a fig10b fig11a fig11c fig11d table1 table2
-             ablation-n ablation-backend micro sat chaos
+             ablation-n ablation-backend micro sat incremental chaos
 
    With --timeout, a series point that exceeds the deadline stops early
    and emits a `"timeout": true` metrics row instead of silently skewed
@@ -34,6 +34,7 @@ let sections =
     ("ablation-backend", Figures.ablation_backend);
     ("micro", fun scale -> ignore scale; Micro.run ());
     ("sat", Sat_bench.run);
+    ("incremental", Incremental_bench.run);
     ("chaos", fun scale -> ignore scale; Chaos_bench.run ());
   ]
 

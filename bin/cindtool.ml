@@ -631,6 +631,192 @@ let sat_cmd =
           ($(b,--timeout), $(b,--fuel)) ran out first.")
     Term.(const run $ file)
 
+(* --- session ------------------------------------------------------------------ *)
+
+(* Line-oriented driver over Cind_session: the same edit/query loop the
+   bench measures and a future daemon would serve.  One verdict per query
+   line on stdout; the script's worst query verdict is the exit code
+   (uniform with `check`). *)
+let session_cmd =
+  let run path seed backend no_cache =
+    let sess = ref None in
+    let pool :
+        (string, [ `Cind of Cind.nf list | `Cfd of Cfd.nf list ]) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let lineno = ref 0 in
+    let fail msg =
+      Fmt.epr "%s:%d: %s@." path !lineno msg;
+      exit exit_usage
+    in
+    let require_session () =
+      match !sess with
+      | Some s -> s
+      | None -> fail "no session yet: start the script with `load FILE`"
+    in
+    let named name =
+      match Hashtbl.find_opt pool name with
+      | Some c -> c
+      | None -> fail (Printf.sprintf "no constraint named %S in the loaded file" name)
+    in
+    let worst = ref exit_ok in
+    let note = function
+      | Cind_api.Yes _ -> ()
+      | Cind_api.No -> worst := max !worst exit_negative
+      | Cind_api.Unknown _ -> worst := max !worst exit_undetermined
+    in
+    (* Implication of a multi-row CIND is the conjunction over its normal
+       forms; a definitive "not implied" beats an undetermined row. *)
+    let conj a b =
+      match (a, b) with
+      | Cind_api.No, _ | _, Cind_api.No -> Cind_api.No
+      | Cind_api.Unknown r, _ | _, Cind_api.Unknown r -> Cind_api.Unknown r
+      | Cind_api.Yes _, Cind_api.Yes _ -> Cind_api.Yes None
+    in
+    let handle line =
+      let words =
+        String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | w :: _ when String.length w > 0 && w.[0] = '#' -> ()
+      | [ "load"; file ] ->
+          if !sess <> None then fail "load: session already started";
+          let doc = load file in
+          let s =
+            Cind_session.create ~backend ~cache:(not no_cache) ~seed
+              doc.Parser.schema
+          in
+          List.iter
+            (fun (c : Cind.t) ->
+              Hashtbl.replace pool c.Cind.name (`Cind (Cind.normalize c)))
+            doc.Parser.sigma.Sigma.cinds;
+          List.iter
+            (fun (f : Cfd.t) ->
+              Hashtbl.replace pool f.Cfd.name (`Cfd (Cfd.normalize f)))
+            doc.Parser.sigma.Sigma.cfds;
+          List.iter
+            (fun (rel, tuples) -> Cind_session.insert_tuples s ~rel tuples)
+            doc.Parser.instances;
+          sess := Some s
+      | [ "add"; name ] -> (
+          let s = require_session () in
+          match named name with
+          | `Cind nfs -> List.iter (Cind_session.add_cind s) nfs
+          | `Cfd nfs -> List.iter (Cind_session.add_cfd s) nfs)
+      | [ "remove"; name ] -> (
+          let s = require_session () in
+          match named name with
+          | `Cind nfs -> List.iter (Cind_session.remove_cind s) nfs
+          | `Cfd nfs -> List.iter (Cind_session.remove_cfd s) nfs)
+      | "insert" :: rel :: rest -> (
+          let s = require_session () in
+          let values =
+            String.concat " " rest |> String.split_on_char ','
+            |> List.map String.trim
+            |> List.filter (fun v -> v <> "")
+            |> List.map Value.of_string
+          in
+          if values = [] then fail "insert expects REL v1,v2,...";
+          match Cind_session.insert_tuples s ~rel [ Tuple.make values ] with
+          | () -> ()
+          | exception Invalid_argument msg -> fail msg)
+      | [ "check" ] ->
+          let v = Cind_session.check (require_session ()) in
+          note v;
+          Fmt.pr "check: %a@." Cind_api.pp_verdict v
+      | [ "consistent"; rel ] ->
+          let v = Cind_session.consistent (require_session ()) ~rel in
+          note v;
+          Fmt.pr "consistent %s: %a@." rel Cind_api.pp_verdict v
+      | [ "implies"; name ] -> (
+          let s = require_session () in
+          match named name with
+          | `Cfd _ -> fail "implies: the goal must be a CIND"
+          | `Cind nfs ->
+              let v =
+                List.fold_left
+                  (fun acc nf -> conj acc (Cind_session.implies s nf))
+                  (Cind_api.Yes None) nfs
+              in
+              note v;
+              Fmt.pr "implies %s: %a@." name Cind_api.pp_verdict v)
+      | [ "holds" ] ->
+          let b = Cind_session.holds (require_session ()) in
+          if not b then worst := max !worst exit_negative;
+          Fmt.pr "holds: %b@." b
+      | [ "stats" ] ->
+          let st = Cind_session.stats (require_session ()) in
+          Fmt.pr "stats: hits=%d misses=%d invalidations=%d entries=%d@."
+            st.Cind_session.hits st.misses st.invalidations st.entries
+      | w :: _ -> fail (Printf.sprintf "unrecognized command %S" w)
+    in
+    let ic =
+      match open_in path with
+      | ic -> ic
+      | exception Sys_error msg ->
+          Fmt.epr "%s@." msg;
+          exit exit_usage
+    in
+    (try
+       while true do
+         incr lineno;
+         handle (input_line ic)
+       done
+     with End_of_file -> close_in ic);
+    (match !sess with
+    | Some s ->
+        let st = Cind_session.stats s in
+        Fmt.epr "cindtool: session: %d hit(s), %d miss(es), %d invalidation(s), %d live entries@."
+          st.Cind_session.hits st.misses st.invalidations st.entries
+    | None -> ());
+    !worst
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the verdict cache and warm-start state: every query \
+             recomputes from scratch (the oracle the property tests and \
+             the bench compare the cached session against).  Verdicts are \
+             identical either way; only wall-clock time changes.")
+  in
+  Cmd.v
+    (Cmd.info "session" ~exits
+       ~doc:
+         "Run a line-oriented edit/query script over an incremental \
+          re-checking session (fingerprint-keyed verdict cache with \
+          read-set invalidation)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The script starts with $(b,load) $(i,FILE), which fixes the \
+              schema, loads the file's declared instances into the session \
+              database, and makes the file's named constraints available \
+              as an edit pool — the session's Σ starts empty.  Subsequent \
+              lines edit the session ($(b,add)/$(b,remove) $(i,NAME) for \
+              constraints from the pool, $(b,insert) $(i,REL) \
+              $(i,v1,v2,...) for tuples) or query it ($(b,check), \
+              $(b,consistent) $(i,REL), $(b,implies) $(i,NAME), \
+              $(b,holds), $(b,stats)); blank lines and $(b,#) comments \
+              are skipped.  Each query prints one verdict line on stdout.";
+           `P
+             "Query verdicts are cached under structural fingerprints of \
+              the target and the dependency set, together with the read \
+              set the derivation reported; an edit dirties only cache \
+              entries whose read set intersects it, and every hit is \
+              verdict-bit-identical to recomputing from scratch.  The \
+              cache counters are exported as $(b,incremental.*) telemetry \
+              (visible via $(b,--metrics) and $(b,cindtool stats)).";
+           `P
+             "Exit code: the worst query verdict in the script (0 all \
+              yes, 1 a definitive no, 3 an undetermined answer), or 2 on \
+              a script error.";
+         ])
+    Term.(const run $ file_arg $ seed_arg $ backend_arg $ no_cache_arg)
+
 (* --- stats ------------------------------------------------------------------- *)
 
 (* Aggregate a metrics JSON-lines file written by --metrics: last value per
@@ -1205,6 +1391,7 @@ let () =
             witness_cmd;
             gen_cmd;
             sat_cmd;
+            session_cmd;
             stats_cmd;
             chaos_cmd;
             profile_stub_cmd;

@@ -29,11 +29,11 @@ let of_checking = function
   | Checking.Inconsistent -> No
   | Checking.Unknown r -> Unknown r
 
-let check ?backend ?budget ?policy ?jobs ?engine ?config ?k ?k_cfd ~rng schema
-    sigma =
+let check ?backend ?budget ?policy ?jobs ?engine ?config ?k ?k_cfd ?recorder
+    ~rng schema sigma =
   of_checking
     (Checking.check ?backend ?budget ?policy ?jobs ?engine ?config ?k ?k_cfd
-       ~rng schema sigma)
+       ?recorder ~rng schema sigma)
 
 let check_many ?backend ?budget ?policy ?jobs ?chunk ?engine ?config ?k ?k_cfd
     ~rng schema sigmas =
@@ -58,23 +58,24 @@ let random_check ?budget ?policy ?jobs ?engine ?config ?k ?k_cfd ?seed_rels
 let tuple_witness ?avoid schema ~rel tup =
   Template.to_database ?avoid (Template.add (Template.empty schema) rel tup)
 
-let of_consistent_rel ~backend ?avoid schema ~rel = function
-  | Some tup -> Yes (Some (tuple_witness ?avoid schema ~rel tup))
-  | None -> (
+let of_consistent_rel ?avoid schema ~rel = function
+  | Cfd_checking.Tuple tup -> Yes (Some (tuple_witness ?avoid schema ~rel tup))
+  | Cfd_checking.No_tuple -> No
+  | Cfd_checking.Gave_up ->
       (* The chase backend's failure to find a witness within K_CFD
-         valuations proves nothing (Fig 10a's accuracy gap); only the
-         complete SAT backend may answer [No]. *)
-      match backend with
-      | Sat_backend -> No
-      | Chase_backend -> Unknown Guard.Fuel)
+         valuations proves nothing (Fig 10a's accuracy gap).  Definitive
+         chase refutations arrive as [No_tuple], exactly like the
+         complete SAT backend's Unsat — only genuine heuristic
+         exhaustion lands here. *)
+      Unknown Guard.Fuel
 
 let consistent ?(backend = Chase_backend) ?budget ?policy ?jobs:_ ?engine
-    ?avoid ?k_cfd ~rng schema cfds ~rel =
+    ?avoid ?k_cfd ?recorder ~rng schema cfds ~rel =
   match
     Cfd_checking.consistent_rel ~backend ?policy ?budget ?engine ?avoid ?k_cfd
-      ~rng schema cfds ~rel
+      ?recorder ~rng schema cfds ~rel
   with
-  | r -> of_consistent_rel ~backend ?avoid schema ~rel r
+  | r -> of_consistent_rel ?avoid schema ~rel r
   | exception Guard.Exhausted r -> Unknown r
 
 let consistent_many ?(backend = Chase_backend) ?budget ?policy ?jobs ?chunk
@@ -85,7 +86,7 @@ let consistent_many ?(backend = Chase_backend) ?budget ?policy ?jobs ?chunk
   in
   List.map2
     (fun rel -> function
-      | Ok r -> of_consistent_rel ~backend ?avoid schema ~rel r
+      | Ok r -> of_consistent_rel ?avoid schema ~rel r
       | Error reason -> Unknown reason)
     rels results
 
@@ -94,9 +95,9 @@ let of_outcome = function
   | Implication.Not_implied -> No
   | Implication.Undetermined r -> Unknown r
 
-let implies ?budget ?policy ?jobs:_ ?max_states schema ~sigma psi =
+let implies ?budget ?policy ?jobs:_ ?max_states ?recorder schema ~sigma psi =
   with_policy policy @@ fun () ->
-  of_outcome (Implication.decide ?budget ?max_states schema ~sigma psi)
+  of_outcome (Implication.decide ?budget ?max_states ?recorder schema ~sigma psi)
 
 let implies_many ?budget ?policy ?jobs ?chunk ?max_states schema ~sigma goals =
   with_policy policy @@ fun () ->

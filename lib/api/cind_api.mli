@@ -58,6 +58,7 @@ val check :
   ?config:Chase.config ->
   ?k:int ->
   ?k_cfd:int ->
+  ?recorder:Read_set.t ->
   rng:Rng.t ->
   Db_schema.t ->
   Sigma.nf ->
@@ -67,7 +68,8 @@ val check :
     (the Fig 7 reduction emptied the dependency graph); [Unknown r]
     found no witness within the budgets.  [jobs >= 2] additionally races
     the chase and SAT backends as a portfolio when no [backend] is
-    forced.  Maps {!Checking.check}. *)
+    forced.  [recorder] collects the read set for incremental callers
+    (see {!Read_set}).  Maps {!Checking.check}. *)
 
 val check_many :
   ?backend:backend ->
@@ -118,17 +120,20 @@ val consistent :
   ?engine:engine ->
   ?avoid:Value.t list ->
   ?k_cfd:int ->
+  ?recorder:Read_set.t ->
   rng:Rng.t ->
   Db_schema.t ->
   Cfd.nf list ->
   rel:string ->
   verdict
 (** Is CFD([rel]) consistent?  [Yes (Some db)] carries a single-tuple
-    witness database (fresh values dodge [avoid]).  A witness-less answer
-    is [No] under [Sat_backend] (complete) but [Unknown Guard.Fuel] under
-    [Chase_backend] (the default), whose K_CFD-bounded search proves
-    nothing by failing.  A single relation decides sequentially; [jobs]
-    is accepted for uniformity and reserved.  Maps
+    witness database (fresh values dodge [avoid]).  [No] is definitive
+    from either backend: an Unsat from [Sat_backend] (complete), or a
+    forced-propagation contradiction from [Chase_backend].
+    [Unknown Guard.Fuel] is reserved for [Chase_backend]'s genuine
+    heuristic give-up (its K_CFD-bounded search proves nothing by
+    failing).  A single relation decides sequentially; [jobs] is
+    accepted for uniformity and reserved.  Maps
     {!Cfd_checking.consistent_rel}. *)
 
 val consistent_many :
@@ -157,6 +162,7 @@ val implies :
   ?policy:Supervise.Policy.t ->
   ?jobs:int ->
   ?max_states:int ->
+  ?recorder:Read_set.t ->
   Db_schema.t ->
   sigma:Cind.nf list ->
   Cind.nf ->
@@ -164,7 +170,9 @@ val implies :
 (** Exact CIND implication [Σ |= ψ] (Theorems 3.4/3.5).  [Yes None] /
     [No] are exact; [Unknown Guard.Fuel] past [max_states] explored
     shapes.  A single goal decides sequentially; [jobs] is accepted for
-    uniformity and reserved.  Maps {!Implication.decide}. *)
+    uniformity and reserved.  [recorder] collects the CINDs found
+    applicable during the search (see {!Read_set}).  Maps
+    {!Implication.decide}. *)
 
 val implies_many :
   ?budget:Guard.t ->

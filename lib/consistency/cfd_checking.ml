@@ -29,7 +29,13 @@ let m_sat_calls = Telemetry.counter "checking.cfd.sat_backend_calls" ~doc:"singl
 
 (* --- chase-based CFD_Checking on an arbitrary template --- *)
 
-let check_template ?budget ?engine ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cfds db =
+type template_outcome =
+  | Instantiated of Template.t
+  | Contradiction
+  | Exhausted_k
+
+let check_template_outcome ?budget ?engine ?(k_cfd = 100) ?(avoid = []) ~rng
+    compiled_cfds db =
   Telemetry.incr m_calls;
   let budget = Guard.resolve budget in
   Guard.probe ~budget "checking.cfd";
@@ -37,12 +43,17 @@ let check_template ?budget ?engine ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cf
      attempt (the heuristic gives up, as with K_CFD); exhaustion of the
      shared budget — or an injected fault — must surface to the caller. *)
   match Chase.fd_fixpoint ~budget ?engine compiled_cfds db with
-  | Chase.Exhausted r when Guard.recoverable ~shared:budget r -> None
+  | Chase.Exhausted r when Guard.recoverable ~shared:budget r -> Exhausted_k
   | Chase.Exhausted r -> raise (Guard.Exhausted r)
-  | Chase.Undefined _ -> None
+  | Chase.Undefined _ ->
+      (* The initial fixpoint only propagates bindings forced by the
+         input template itself, so a contradiction here refutes every
+         instantiation — a definitive "no", unlike the heuristic
+         give-ups below. *)
+      Contradiction
   | Chase.Terminal db -> (
       match Template.finite_variables db with
-      | [] -> Some db
+      | [] -> Instantiated db
       | _ ->
           (* Group the demanded constants by interned (relation, attribute)
              once, instead of a string-comparing scan per variable per
@@ -65,20 +76,27 @@ let check_template ?budget ?engine ?(k_cfd = 100) ?(avoid = []) ~rng compiled_cf
           let rec attempts k =
             if k <= 0 then begin
               Guard.reraise_if_spent budget;
-              None
+              Exhausted_k
             end
             else
               let () = Telemetry.incr m_kcfd_retries in
               let candidate = Chase.instantiate_finite_vars ~prefer ~avoid rng db in
               match Chase.fd_fixpoint ~budget ?engine compiled_cfds candidate with
               | Chase.Terminal done_db when Template.finite_variables done_db = [] ->
-                  Some done_db
+                  Instantiated done_db
               | Chase.Terminal _ | Chase.Undefined _ -> attempts (k - 1)
               | Chase.Exhausted r when Guard.recoverable ~shared:budget r ->
                   attempts (k - 1)
               | Chase.Exhausted r -> raise (Guard.Exhausted r)
           in
           attempts k_cfd)
+
+let check_template ?budget ?engine ?k_cfd ?avoid ~rng compiled_cfds db =
+  match
+    check_template_outcome ?budget ?engine ?k_cfd ?avoid ~rng compiled_cfds db
+  with
+  | Instantiated db -> Some db
+  | Contradiction | Exhausted_k -> None
 
 (* Single-relation consistency via the chase backend: start from the
    single-tuple template τ(R). *)
@@ -194,25 +212,42 @@ let consistent_rel_sat ?budget ?(avoid = []) schema cfds ~rel =
       Some (Tuple.make values)
 
 (* Uniform front-end on the single-tuple problem: a satisfying template
-   tuple, with finite-domain fields concrete, or None. *)
-let consistent_rel ?(backend = Chase_backend) ?policy ?budget ?engine ?avoid ?k_cfd ~rng
-    schema cfds ~rel =
+   tuple with finite-domain fields concrete, a definitive refutation, or
+   a heuristic give-up.  The three-way answer lets facades distinguish
+   "no single tuple exists" (a No) from "K_CFD ran out" (an Unknown) —
+   the chase backend's initial forced-propagation fixpoint deriving a
+   contradiction is just as definitive as an Unsat from SAT. *)
+type witness =
+  | Tuple of Template.tuple
+  | No_tuple
+  | Gave_up
+
+let consistent_rel ?(backend = Chase_backend) ?policy ?budget ?engine ?avoid ?k_cfd
+    ?recorder ~rng schema cfds ~rel =
+  let cfds_on_rel = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
+  Read_set.record_rel recorder rel;
+  List.iter (Read_set.record_cfd recorder) cfds_on_rel;
   let via_chase () =
     Telemetry.incr m_chase_calls;
-    let cfds = List.filter (fun nf -> String.equal nf.Cfd.nf_rel rel) cfds in
-    match consistent_rel_chase ?budget ?engine ?k_cfd ?avoid ~rng schema cfds ~rel with
-    | None -> None
-    | Some db -> (
-        match Template.tuples db rel with [ t ] -> Some t | _ -> assert false)
+    let compiled = List.map (Chase.compile_cfd schema) cfds_on_rel in
+    match
+      check_template_outcome ?budget ?engine ?k_cfd ?avoid ~rng compiled
+        (Chase.seed_tuple schema ~rel)
+    with
+    | Contradiction -> No_tuple
+    | Exhausted_k -> Gave_up
+    | Instantiated db -> (
+        match Template.tuples db rel with [ t ] -> Tuple t | _ -> assert false)
   in
   match backend with
   | Chase_backend -> via_chase ()
   | Sat_backend -> (
       Telemetry.incr m_sat_calls;
       match consistent_rel_sat ?budget ?avoid schema cfds ~rel with
-      | None -> None
+      | None -> No_tuple
       | Some tuple ->
-          Some (Array.map (fun v -> Template.C v) (Array.of_list (Tuple.to_list tuple)))
+          Tuple
+            (Array.map (fun v -> Template.C v) (Array.of_list (Tuple.to_list tuple)))
       | exception Guard.Exhausted (Guard.Fault _ as r)
         when (Supervise.Policy.resolve policy).Supervise.Policy.degrade
              && Guard.state (Guard.resolve budget) = None ->

@@ -11,6 +11,34 @@ type backend =
   | Chase_backend
   | Sat_backend
 
+type template_outcome =
+  | Instantiated of Template.t
+      (** A full instantiation: every finite-domain variable holds a
+          constant. *)
+  | Contradiction
+      (** The initial forced-propagation fixpoint derived a contradiction
+          from the input template alone — {e no} instantiation exists.
+          Definitive, like an Unsat from the SAT backend. *)
+  | Exhausted_k
+      (** The heuristic gave up: K_CFD random valuations (or the
+          fixpoint's local step fuel) ran out without finding an
+          instantiation.  One may still exist. *)
+
+val check_template_outcome :
+  ?budget:Guard.t ->
+  ?engine:Chase.engine ->
+  ?k_cfd:int ->
+  ?avoid:Value.t list ->
+  rng:Rng.t ->
+  Chase.compiled_cfd list ->
+  Template.t ->
+  template_outcome
+(** Three-way form of {!check_template}, distinguishing the definitive
+    refutation from the heuristic give-up.  Consumes the same rng stream
+    as {!check_template} on the same inputs.
+    @raise Guard.Exhausted when the shared [budget] (default: ambient)
+    runs dry or an armed fault fires. *)
+
 val check_template :
   ?budget:Guard.t ->
   ?engine:Chase.engine ->
@@ -47,6 +75,14 @@ val consistent_rel_sat :
     @raise Guard.Exhausted if the solver answers [Unknown]: [None] is a
     definitive verdict here and is never used for undetermined answers. *)
 
+type witness =
+  | Tuple of Template.tuple  (** A satisfying single tuple. *)
+  | No_tuple
+      (** Definitely no satisfying tuple: Unsat from the SAT backend, or
+          a forced-propagation contradiction from the chase backend. *)
+  | Gave_up
+      (** The chase backend's K_CFD heuristic ran out; undetermined. *)
+
 val consistent_rel :
   ?backend:backend ->
   ?policy:Supervise.Policy.t ->
@@ -54,14 +90,17 @@ val consistent_rel :
   ?engine:Chase.engine ->
   ?avoid:Value.t list ->
   ?k_cfd:int ->
+  ?recorder:Read_set.t ->
   rng:Rng.t ->
   Db_schema.t ->
   Cfd.nf list ->
   rel:string ->
-  Template.tuple option
+  witness
 (** Uniform front-end: the instantiated tuple template τ(rel) satisfying
-    CFD(rel), or [None] if none found (definitely none, for [Sat_backend]).
-    When [policy] (default: the ambient {!Supervise.Policy}) allows
+    CFD(rel), a definitive [No_tuple], or [Gave_up] (chase backend only —
+    the SAT backend is complete).  A [recorder] notes [rel] and the CFDs
+    on [rel] (the only dependencies the verdict can depend on).  When
+    [policy] (default: the ambient {!Supervise.Policy}) allows
     degradation and the SAT backend raises an injected fault while the
     shared [budget] is intact, the call falls back to the chase backend
     (the SAT -> chase ladder rung) and records the step on the
@@ -80,7 +119,7 @@ val consistent_many :
   Db_schema.t ->
   Cfd.nf list ->
   rels:string list ->
-  (Template.tuple option, Guard.reason) result list
+  (witness, Guard.reason) result list
 (** Batch {!consistent_rel} over many relations.  Item i is bit-identical
     to [consistent_rel ~rng:(List.nth (Rng.split_n rng N) i) ... ~rel]
     at any [jobs] count; a per-item [Guard.Exhausted] becomes [Error r]

@@ -143,9 +143,27 @@ let check_race ?engine ~budget ?config ?k ?k_cfd ~jobs ~rng schema sigma =
    records the step on the degradation trail; the last rung's answer is
    final.  The SAT -> chase rung lives below, in
    [Cfd_checking.consistent_rel]. *)
-let check ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ?policy ~rng schema
-    (sigma : Sigma.nf) =
+let check ?backend ?budget ?engine ?config ?k ?k_cfd ?jobs ?policy ?recorder
+    ~rng schema (sigma : Sigma.nf) =
   Telemetry.incr m_calls;
+  (* Checking consults all of Σ (preProcessing walks the full dependency
+     graph), so the read set is Σ itself plus every relation it mentions
+     — recorded up front, before the race arms spawn, so no recorder is
+     ever touched from a pool domain. *)
+  (match recorder with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun (c : Cind.nf) ->
+          Read_set.record_cind recorder c;
+          Read_set.record_rel recorder c.Cind.nf_lhs;
+          Read_set.record_rel recorder c.Cind.nf_rhs)
+        sigma.Sigma.ncinds;
+      List.iter
+        (fun (f : Cfd.nf) ->
+          Read_set.record_cfd recorder f;
+          Read_set.record_rel recorder f.Cfd.nf_rel)
+        sigma.Sigma.ncfds);
   let budget = Guard.resolve budget in
   let policy = Supervise.Policy.resolve policy in
   let jobs =

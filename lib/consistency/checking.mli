@@ -24,11 +24,17 @@ val check :
   ?k_cfd:int ->
   ?jobs:int ->
   ?policy:Supervise.Policy.t ->
+  ?recorder:Read_set.t ->
   rng:Rng.t ->
   Db_schema.t ->
   Sigma.nf ->
   result
 (** [budget] defaults to the ambient budget ([Guard.resolve]).
+
+    [recorder] collects the read set: Checking consults all of Σ, so the
+    whole of [sigma] and every relation it mentions are recorded (up
+    front, never from a pool domain — see {!Read_set} for the
+    over-approximation contract).
 
     [jobs] (default {!Parallel.default_jobs}): with [jobs >= 2] and no
     forced [backend], the chase-based and SAT-based pipelines race as a

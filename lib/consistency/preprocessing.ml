@@ -123,7 +123,7 @@ let run ?backend ?budget ?engine ?k_cfd ~rng schema (sigma : Sigma.nf) =
         Cfd_checking.consistent_rel ?backend ~budget ?engine ~avoid ?k_cfd ~rng
           schema (Depgraph.cfd_set g r) ~rel:r
       with
-      | Some tau ->
+      | Cfd_checking.Tuple tau ->
           let triggering =
             Option.value ~default:[]
               (Hashtbl.find_opt cinds_by_lhs (Interner.symbol r))
@@ -134,8 +134,10 @@ let run ?backend ?budget ?engine ?k_cfd ~rng schema (sigma : Sigma.nf) =
             (* sanity: the one-tuple database must satisfy Σ *)
             if Sigma.nf_holds db sigma then outcome := Some (Consistent db)
           end
-      | None ->
-          (* CFD(r) inconsistent: r must be empty. *)
+      | Cfd_checking.No_tuple | Cfd_checking.Gave_up ->
+          (* CFD(r) inconsistent — or presumed so after the heuristic
+             gave up (the pre-existing, deliberately aggressive pruning
+             behaviour): r must be empty. *)
           Telemetry.incr m_pruned_inconsistent;
           List.iter
             (fun rj ->

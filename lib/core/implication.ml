@@ -61,8 +61,11 @@ module State_tbl = Hashtbl.Make (struct
   let hash = state_hash
 end)
 
-(* A compiled CIND of Σ: attribute references resolved to positions. *)
+(* A compiled CIND of Σ: attribute references resolved to positions.
+   [c_nf] keeps the source normal form so read-set recording can report
+   which members of Σ the search actually resolved with. *)
 type compiled = {
+  c_nf : Cind.nf;
   c_lhs : string;
   c_rhs : string;
   c_rhs_arity : int;
@@ -95,6 +98,7 @@ let compile schema (nf : Cind.nf) =
         | None -> free_infinite := pos :: !free_infinite)
     (Schema.attrs r2);
   {
+    c_nf = nf;
     c_lhs = nf.nf_lhs;
     c_rhs = nf.nf_rhs;
     c_rhs_arity = Schema.arity r2;
@@ -202,13 +206,20 @@ let is_witness schema (psi : Cind.nf) ~xvals =
    fixpoint over the reachable shape space.  The shared budget is ticked
    per explored shape (reachability) and per scanned state (fixpoint), so a
    deadline cuts even an exponentially exploding search promptly. *)
-let counterexample_from schema compiled psi ~budget ~max_states (start, xvals) =
+let counterexample_from schema compiled psi ~budget ~max_states ~recorder
+    (start, xvals) =
   let witness = is_witness schema psi ~xvals in
   let visited = State_tbl.create 256 in
   let queue = Queue.create () in
   let push s =
     if not (State_tbl.mem visited s) then begin
       Guard.tick budget;
+      (* The read set: every relation whose shapes the search explores,
+         and (below) every CIND found applicable to one of them.  A CIND
+         whose LHS relation never appears among the explored shapes can
+         neither create children nor constrain the fixpoint, so edits to
+         it cannot change this derivation. *)
+      Read_set.record_rel recorder s.srel;
       State_tbl.replace visited s ();
       if State_tbl.length visited > max_states then raise Budget_exceeded;
       Queue.push s queue
@@ -218,7 +229,11 @@ let counterexample_from schema compiled psi ~budget ~max_states (start, xvals) =
   while not (Queue.is_empty queue) do
     let s = Queue.pop queue in
     List.iter
-      (fun c -> if applicable c s then List.iter push (children c s))
+      (fun c ->
+        if applicable c s then begin
+          Read_set.record_cind recorder c.c_nf;
+          List.iter push (children c s)
+        end)
       compiled
   done;
   (* alive = candidate members of a witness-free closed set *)
@@ -257,7 +272,10 @@ let implies_exn ?budget ?(max_states = 50_000) schema ~sigma psi =
   let compiled = List.map (compile schema) sigma in
   let starts = start_shapes schema psi ~budget:max_states in
   not
-    (List.exists (counterexample_from schema compiled psi ~budget ~max_states) starts)
+    (List.exists
+       (counterexample_from schema compiled psi ~budget ~max_states
+          ~recorder:None)
+       starts)
 
 let implies = implies_exn
 
@@ -274,18 +292,31 @@ let pp_outcome ppf = function
    — the shareable part of the work; [implies_many] compiles once and
    runs this per goal.  [Budget_exceeded] (the local [max_states] cap) is
    the procedure's own give-up, reported as [Undetermined Fuel]. *)
-let decide_compiled ~budget ~max_states schema compiled psi =
+let decide_compiled_core ~budget ~max_states ~recorder schema compiled psi =
   match
     let psi = Cind.canon_nf psi in
     let starts = start_shapes schema psi ~budget:max_states in
-    List.exists (counterexample_from schema compiled psi ~budget ~max_states) starts
+    List.exists
+      (counterexample_from schema compiled psi ~budget ~max_states ~recorder)
+      starts
   with
   | true -> Not_implied
   | false -> Implied
   | exception Budget_exceeded -> Undetermined Guard.Fuel
   | exception Guard.Exhausted r -> Undetermined r
 
-let decide ?budget ?(max_states = 50_000) schema ~sigma psi =
+(* Public form for callers that hold a compiled Σ across many goals (the
+   incremental session's warm-start cache); probes and spans like
+   [decide]. *)
+let decide_compiled ?budget ?(max_states = 50_000) ?recorder schema compiled
+    psi =
+  Telemetry.with_span "implication.implies" @@ fun () ->
+  let budget = Guard.resolve budget in
+  match Guard.probe ~budget "implication.implies" with
+  | () -> decide_compiled_core ~budget ~max_states ~recorder schema compiled psi
+  | exception Guard.Exhausted r -> Undetermined r
+
+let decide ?budget ?(max_states = 50_000) ?recorder schema ~sigma psi =
   Telemetry.with_span "implication.implies" @@ fun () ->
   let budget = Guard.resolve budget in
   match
@@ -293,7 +324,8 @@ let decide ?budget ?(max_states = 50_000) schema ~sigma psi =
     List.map (compile schema) (List.map Cind.canon_nf sigma)
   with
   | exception Guard.Exhausted r -> Undetermined r
-  | compiled -> decide_compiled ~budget ~max_states schema compiled psi
+  | compiled ->
+      decide_compiled_core ~budget ~max_states ~recorder schema compiled psi
 
 let implies_many ?budget ?(max_states = 50_000) ?jobs ?chunk schema ~sigma goals =
   Telemetry.with_span "implication.implies_many" @@ fun () ->
@@ -310,7 +342,10 @@ let implies_many ?budget ?(max_states = 50_000) ?jobs ?chunk schema ~sigma goals
   with
   | exception Guard.Exhausted r -> List.map (fun _ -> Undetermined r) goals
   | compiled ->
-      let run_one psi = decide_compiled ~budget ~max_states schema compiled psi in
+      let run_one psi =
+        decide_compiled_core ~budget ~max_states ~recorder:None schema compiled
+          psi
+      in
       let n = List.length goals in
       let plan = Parallel.estimate ?chunk ~tasks:n ~jobs () in
       if not plan.Parallel.use_pool then List.map run_one goals

@@ -27,6 +27,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 val decide :
   ?budget:Guard.t ->
   ?max_states:int ->
+  ?recorder:Read_set.t ->
   Db_schema.t ->
   sigma:Cind.nf list ->
   Cind.nf ->
@@ -35,9 +36,32 @@ val decide :
     Inputs are assumed validated against [schema].  Never raises on
     resource exhaustion: past [max_states] explored shapes (default
     50,000) the answer is [Undetermined Guard.Fuel], and a dry shared
-    [budget] (default: ambient) yields [Undetermined r].  This is the
-    non-deprecated form of {!implies}; drivers should prefer the
-    [Cind_api] facade. *)
+    [budget] (default: ambient) yields [Undetermined r].  A [recorder]
+    collects the CINDs found applicable and the relations whose shapes
+    were explored (see {!Read_set}).  This is the non-deprecated form of
+    {!implies}; drivers should prefer the [Cind_api] facade. *)
+
+type compiled
+(** A member of Σ pre-compiled against a schema: the per-call work of
+    {!decide} that does not depend on the goal.  Valid for the schema it
+    was compiled against. *)
+
+val compile : Db_schema.t -> Cind.nf -> compiled
+(** Compile one already-canonicalised ({!Cind.canon_nf}) member of Σ.
+    Callers that re-ask implication against a stable Σ (the incremental
+    session) compile once and reuse via {!decide_compiled}. *)
+
+val decide_compiled :
+  ?budget:Guard.t ->
+  ?max_states:int ->
+  ?recorder:Read_set.t ->
+  Db_schema.t ->
+  compiled list ->
+  Cind.nf ->
+  outcome
+(** {!decide} against a pre-compiled Σ.  Outcome is identical to
+    [decide schema ~sigma psi] for the Σ the list was compiled from,
+    regardless of list order. *)
 
 val decide_infinite :
   ?budget:Guard.t ->

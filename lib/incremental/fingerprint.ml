@@ -1,0 +1,81 @@
+open Conddep_relational
+open Conddep_core
+
+type t = int64
+
+let equal = Int64.equal
+let compare = Int64.compare
+
+(* FNV-1a, 64-bit. *)
+let empty = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let add_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+(* Feed the full 64-bit image so ids differing only above bit 8 (large
+   interner tables) and negative tags still separate. *)
+let add_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := add_byte !h (Int64.to_int (Int64.shift_right_logical x (i * 8)))
+  done;
+  !h
+
+let add_int h i = add_int64 h (Int64.of_int i)
+let add_fp = add_int64
+
+(* Distinct tags per syntactic position: without them, e.g. a constant
+   moving from Xp to Yp could fingerprint identically. *)
+let tag_cind = 1
+let tag_cfd = 2
+let tag_rel = 3
+let tag_wild = 4
+let tag_const = 5
+
+let add_sym h s = add_int h (Interner.symbol s)
+let add_val h v = add_int h (Interner.id v)
+
+let add_syms h ss =
+  List.fold_left add_sym (add_int h (List.length ss)) ss
+
+let add_bindings h bs =
+  List.fold_left
+    (fun h (a, v) -> add_val (add_sym h a) v)
+    (add_int h (List.length bs))
+    bs
+
+let cind nf =
+  let nf = Cind.canon_nf nf in
+  let h = add_int empty tag_cind in
+  let h = add_sym h nf.Cind.nf_lhs in
+  let h = add_sym h nf.Cind.nf_rhs in
+  let h = add_syms h nf.Cind.nf_x in
+  let h = add_syms h nf.Cind.nf_y in
+  let h = add_bindings h nf.Cind.nf_xp in
+  add_bindings h nf.Cind.nf_yp
+
+let add_cell h = function
+  | Pattern.Wildcard -> add_int h tag_wild
+  | Pattern.Const v -> add_val (add_int h tag_const) v
+
+let cfd nf =
+  let h = add_int empty tag_cfd in
+  let h = add_sym h nf.Cfd.nf_rel in
+  let h = add_syms h nf.Cfd.nf_x in
+  let h = add_sym h nf.Cfd.nf_a in
+  let h = List.fold_left add_cell h nf.Cfd.nf_tx in
+  add_cell h nf.Cfd.nf_ta
+
+let set_of fps =
+  List.fold_left add_fp (add_int empty (List.length fps))
+    (List.sort Int64.compare fps)
+
+let cind_set cinds = set_of (List.map cind cinds)
+let cfd_set cfds = set_of (List.map cfd cfds)
+
+let sigma (s : Sigma.nf) =
+  add_fp (add_fp empty (cfd_set s.Sigma.ncfds)) (cind_set s.Sigma.ncinds)
+
+let rel r = add_sym (add_int empty tag_rel) r
+let to_hex = Printf.sprintf "%016Lx"

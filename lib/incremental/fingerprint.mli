@@ -1,0 +1,49 @@
+open Conddep_core
+
+(** Structural 64-bit fingerprints over interned ids (FNV-1a).
+
+    Fingerprints are the cache keys of the incremental session layer: a
+    dependency, a dependency set, or a database generation vector hashes
+    to one [int64], so cache lookups and invalidation tests are integer
+    comparisons instead of structural walks.  Hashing feeds {!Interner}
+    ids, not strings — ids are append-only and process-stable, which is
+    exactly the lifetime of a session cache (fingerprints are {e not}
+    stable across processes and must never be persisted).
+
+    Dependency fingerprints are name-insensitive and quotient out the
+    pattern-binding permutations that {!Cind.canon_nf} canonicalises:
+    two dependencies with equal verdict-relevant structure fingerprint
+    equally.  Set fingerprints are order-insensitive.  Collisions are
+    possible in principle; cache consumers guard every fingerprint hit
+    with a structural comparison of the stored target. *)
+
+type t = int64
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val empty : t
+(** The FNV offset basis — the fingerprint of "nothing yet". *)
+
+val add_int : t -> int -> t
+(** Feed one integer (an interned id, a tag, a length, a generation). *)
+
+val add_fp : t -> t -> t
+(** Feed a previously computed fingerprint (composition). *)
+
+val cind : Cind.nf -> t
+(** Canonicalises ({!Cind.canon_nf}) first; ignores [nf_name]. *)
+
+val cfd : Cfd.nf -> t
+(** Ignores [nf_name]. *)
+
+val cind_set : Cind.nf list -> t
+(** Order-insensitive (element fingerprints are sorted before folding). *)
+
+val cfd_set : Cfd.nf list -> t
+val sigma : Sigma.nf -> t
+
+val rel : string -> t
+(** Fingerprint of a relation name (an interned symbol). *)
+
+val to_hex : t -> string

@@ -29,6 +29,7 @@ let m_restarts = Telemetry.counter "sat.restarts" ~doc:"conflict-limited Luby re
 let m_learned = Telemetry.counter "sat.learned" ~doc:"asserting clauses learned by first-UIP conflict analysis"
 let m_learned_deleted = Telemetry.counter "sat.learned_deleted" ~doc:"learned clauses removed by LBD-scored database reductions"
 let m_backjumps = Telemetry.counter "sat.backjump_levels" ~doc:"decision levels skipped by non-chronological backjumps (beyond the one chronological level)"
+let m_minimized = Telemetry.counter "sat.minimized_lits" ~doc:"learnt literals removed by recursive self-subsumption minimization"
 let m_sat = Telemetry.counter "sat.results_sat" ~doc:"instances decided satisfiable"
 let m_unsat = Telemetry.counter "sat.results_unsat" ~doc:"instances decided unsatisfiable"
 let m_unknown = Telemetry.counter "sat.results_unknown" ~doc:"instances left undecided: budget, conflict/decision limit or fault"
@@ -299,6 +300,36 @@ let propagate st =
 
 (* --- first-UIP conflict analysis --------------------------------------------- *)
 
+(* Recursive self-subsumption minimization (MiniSat's litRedundant): a
+   below-current-level learnt literal q is redundant — implied by the rest
+   of the clause — when its variable was propagated by a reason clause
+   whose every other literal is level-0, already in the learnt clause
+   ([seen] is still set for exactly the learnt variables when this runs),
+   or itself recursively redundant.  Redundancy is a property of the
+   variable alone (its cone in the fixed implication graph), so verdicts
+   are memoized per variable; antecedents sit strictly earlier on the
+   trail, so the recursion is well-founded.  Dropping all redundant
+   literals simultaneously is sound: each one's derivation bottoms out in
+   kept literals and level-0 facts. *)
+let minimize_learnt st learnt =
+  let memo = Hashtbl.create 16 in
+  let rec redundant v =
+    match Hashtbl.find_opt memo v with
+    | Some r -> r
+    | None ->
+        let r =
+          st.reason.(v) <> no_reason
+          && Array.for_all
+               (fun u ->
+                 let w = abs u in
+                 w = v || st.level.(w) = 0 || st.seen.(w) || redundant w)
+               st.clauses.(st.reason.(v)).lits
+        in
+        Hashtbl.replace memo v r;
+        r
+  in
+  List.filter (fun q -> not (redundant (abs q))) learnt
+
 (* Resolve the conflicting clause backwards along the trail until exactly
    one literal of the current decision level remains — the first unique
    implication point.  Returns the asserting learned clause (UIP negation
@@ -345,10 +376,14 @@ let analyze st confl =
       c := st.reason.(abs lit)
     end
   done;
+  (* shrink before the seen flags are cleared — [minimize_learnt] reads
+     them to know which variables the clause already contains *)
+  let learnt_min = minimize_learnt st !learnt in
+  Telemetry.add m_minimized (List.length !learnt - List.length learnt_min);
   List.iter (fun v -> st.seen.(v) <- false) !to_clear;
   (* asserting literal first; swap a maximum-level literal into position 1
      so it can serve as the second watch after the backjump *)
-  let lits = Array.of_list (- !p :: !learnt) in
+  let lits = Array.of_list (- !p :: learnt_min) in
   let blevel =
     if Array.length lits = 1 then 0
     else begin

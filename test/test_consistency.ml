@@ -23,9 +23,12 @@ let test_backends_agree_on_examples () =
     (fun (name, schema, rel, cfds, expected) ->
       let sat = Cfd_checking.consistent_rel_sat schema cfds ~rel <> None in
       let chase =
-        Cfd_checking.consistent_rel ~backend:Cfd_checking.Chase_backend ~rng:(rng ())
-          schema cfds ~rel
-        <> None
+        match
+          Cfd_checking.consistent_rel ~backend:Cfd_checking.Chase_backend
+            ~rng:(rng ()) schema cfds ~rel
+        with
+        | Cfd_checking.Tuple _ -> true
+        | Cfd_checking.No_tuple | Cfd_checking.Gave_up -> false
       in
       check_bool (name ^ " sat") expected sat;
       check_bool (name ^ " chase") expected chase)

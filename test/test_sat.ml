@@ -177,6 +177,29 @@ let test_reduction_cadence_preserves_verdict () =
   check_bool "deletion disabled: unsat" false
     (mode_is_sat ~reduce_base:0 Solver.Cdcl cnf)
 
+(* Learned-clause minimization (recursive self-subsumption) must actually
+   remove literals on conflict-dense instances — and, being a pure
+   strengthening of clauses the solver already derived, must never change
+   a verdict: the same seeded 3-CNF family as the differential test, with
+   the oracle as referee and the counter as proof the machinery ran. *)
+let test_minimization_observable_and_verdict_preserving () =
+  let m_min = Telemetry.counter "sat.minimized_lits" in
+  Telemetry.enable ();
+  Fun.protect ~finally:Telemetry.disable @@ fun () ->
+  let before = Telemetry.count m_min in
+  check_bool "PHP(5,4) unsat with minimization active" false
+    (mode_is_sat Solver.Cdcl (pigeonhole 5 4));
+  for seed = 100 to 111 do
+    let n = 8 + (seed mod 6) in
+    let cnf = random_3cnf seed n in
+    check_bool
+      (Printf.sprintf "minimized verdict == oracle (seed=%d n=%d)" seed n)
+      (brute_is_sat cnf)
+      (mode_is_sat Solver.Cdcl cnf)
+  done;
+  check_bool "self-subsumption removed literals" true
+    (Telemetry.count m_min > before)
+
 (* Regression: backjumping to level 0 must preserve the pre-asserted unit
    clauses.  (cancel_until once kept [trail_lim.(lvl)] entries instead of
    [trail_lim.(lvl + 1)], erasing the level-0 units on any backjump to the
@@ -372,6 +395,8 @@ let () =
             test_cdcl_differential_3cnf;
           Alcotest.test_case "learning and backjumps are observable" `Quick
             test_multilevel_backjumps_observable;
+          Alcotest.test_case "minimization observable, verdict preserved"
+            `Quick test_minimization_observable_and_verdict_preserving;
           Alcotest.test_case "deletion cadence preserves the verdict" `Quick
             test_reduction_cadence_preserves_verdict;
           Alcotest.test_case "backjump to root keeps units" `Quick

@@ -223,8 +223,9 @@ let test_sat_to_chase_rung () =
           ~policy:(policy ~retries:0 ~degrade:true)
           ~rng:(Rng.make 3) schema cfds ~rel)
   in
+  let has_tuple = function Cfd_checking.Tuple _ -> true | _ -> false in
   check_bool "fallback answers like the chase backend"
-    (Option.is_some chase_r) (Option.is_some faulted);
+    (has_tuple chase_r) (has_tuple faulted);
   check_bool "sat -> chase recorded" true
     (List.exists
        (fun d ->
